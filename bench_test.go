@@ -1,0 +1,95 @@
+package o2k_test
+
+// One benchmark per table/figure of the (reconstructed) evaluation — see
+// DESIGN.md §5. Each benchmark regenerates its artifact through the
+// experiments package and prints it once, so
+//
+//	go test -bench=. -benchmem
+//
+// both measures the harness and emits every table the paper reports.
+// Figures at full scale sweep P = 1..64; set -short for the quick variant.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"o2k/internal/core"
+	"o2k/internal/experiments"
+)
+
+var printOnce sync.Map
+
+func opts(b *testing.B) experiments.Opts {
+	if testing.Short() {
+		return experiments.QuickOpts()
+	}
+	return experiments.DefaultOpts()
+}
+
+func runExperiment(b *testing.B, name string, gen func(experiments.Opts) *core.Table) {
+	o := opts(b)
+	var t *core.Table
+	for i := 0; i < b.N; i++ {
+		t = gen(o)
+	}
+	if _, dup := printOnce.LoadOrStore(name, true); !dup {
+		fmt.Printf("\n%s\n", t.String())
+	}
+}
+
+func BenchmarkTable1Workloads(b *testing.B) {
+	runExperiment(b, "table1", experiments.Table1)
+}
+
+func BenchmarkFig2MeshSpeedup(b *testing.B) {
+	runExperiment(b, "fig2", experiments.Fig2)
+}
+
+func BenchmarkFig3NBodySpeedup(b *testing.B) {
+	runExperiment(b, "fig3", experiments.Fig3)
+}
+
+func BenchmarkFig4PhaseBreakdown(b *testing.B) {
+	runExperiment(b, "fig4", experiments.Fig4)
+}
+
+func BenchmarkTable5ProgrammingEffort(b *testing.B) {
+	runExperiment(b, "table5", func(experiments.Opts) *core.Table { return experiments.Table5() })
+}
+
+func BenchmarkTable6Memory(b *testing.B) {
+	runExperiment(b, "table6", experiments.Table6)
+}
+
+func BenchmarkFig7LatencySweep(b *testing.B) {
+	runExperiment(b, "fig7", experiments.Fig7)
+}
+
+func BenchmarkFig8LoadBalance(b *testing.B) {
+	runExperiment(b, "fig8", experiments.Fig8)
+}
+
+func BenchmarkTable9Traffic(b *testing.B) {
+	runExperiment(b, "table9", experiments.Table9)
+}
+
+func BenchmarkFig10RegularControl(b *testing.B) {
+	runExperiment(b, "fig10", experiments.Fig10)
+}
+
+func BenchmarkFig11PageMigration(b *testing.B) {
+	runExperiment(b, "fig11", experiments.Fig11)
+}
+
+func BenchmarkFig12MachineSweep(b *testing.B) {
+	runExperiment(b, "fig12", experiments.Fig12)
+}
+
+func BenchmarkFig13Hybrid(b *testing.B) {
+	runExperiment(b, "fig13", experiments.Fig13)
+}
+
+func BenchmarkFig14ConjugateGradient(b *testing.B) {
+	runExperiment(b, "fig14", experiments.Fig14)
+}

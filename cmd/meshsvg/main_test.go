@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"o2k/internal/mesh"
+	"o2k/internal/partition"
+)
+
+func testMesh(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	f := mesh.NewUnitSquare(4, 2)
+	f.Adapt(mesh.DefaultFront(2).At(0))
+	m := f.Snapshot()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRenderSVGByLevel(t *testing.T) {
+	m := testMesh(t)
+	svg := renderSVG(m, nil)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if got := strings.Count(svg, "<polygon"); got != m.NumTris() {
+		t.Fatalf("polygons %d != triangles %d", got, m.NumTris())
+	}
+}
+
+func TestRenderSVGByPartition(t *testing.T) {
+	m := testMesh(t)
+	xs := make([]float64, m.NumTris())
+	ys := make([]float64, m.NumTris())
+	w := make([]float64, m.NumTris())
+	for i := range xs {
+		xs[i], ys[i] = m.Centroid(i)
+		w[i] = 1
+	}
+	part := partition.RCB(xs, ys, w, 4)
+	svg := renderSVG(m, part)
+	// At least two distinct partition colours must appear.
+	distinct := 0
+	for _, c := range palette[:4] {
+		if strings.Contains(svg, c) {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		t.Fatalf("only %d partition colours rendered", distinct)
+	}
+}

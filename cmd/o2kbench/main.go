@@ -1,0 +1,122 @@
+// Command o2kbench regenerates the study's tables and figures.
+//
+// Usage:
+//
+//	o2kbench [-exp name] [-quick] [-procs 1,2,4,8,16,32,64] [-format text|json]
+//
+// Experiments (see DESIGN.md §5): table1, mesh-speedup (fig2),
+// nbody-speedup (fig3), breakdown (fig4), loc (table5), memory (table6),
+// latency-sweep (fig7), loadbalance (fig8), traffic (table9),
+// regular-control (fig10), page-migration (fig11), machine-sweep (fig12),
+// hybrid (fig13), cg (fig14), verdicts, all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"o2k/internal/core"
+	"o2k/internal/experiments"
+)
+
+// tablesFor resolves an experiment name to its tables.
+func tablesFor(exp string, o experiments.Opts) ([]*core.Table, error) {
+	switch exp {
+	case "table1":
+		return []*core.Table{experiments.Table1(o)}, nil
+	case "mesh-speedup", "fig2":
+		return []*core.Table{experiments.Fig2(o)}, nil
+	case "nbody-speedup", "fig3":
+		return []*core.Table{experiments.Fig3(o)}, nil
+	case "breakdown", "fig4":
+		return []*core.Table{experiments.Fig4(o)}, nil
+	case "loc", "table5":
+		return []*core.Table{experiments.Table5()}, nil
+	case "memory", "table6":
+		return []*core.Table{experiments.Table6(o)}, nil
+	case "latency-sweep", "fig7":
+		return []*core.Table{experiments.Fig7(o)}, nil
+	case "loadbalance", "fig8":
+		return []*core.Table{experiments.Fig8(o)}, nil
+	case "traffic", "table9":
+		return []*core.Table{experiments.Table9(o)}, nil
+	case "regular-control", "fig10":
+		return []*core.Table{experiments.Fig10(o)}, nil
+	case "page-migration", "fig11":
+		return []*core.Table{experiments.Fig11(o)}, nil
+	case "machine-sweep", "fig12":
+		return []*core.Table{experiments.Fig12(o)}, nil
+	case "hybrid", "fig13":
+		return []*core.Table{experiments.Fig13(o)}, nil
+	case "cg", "fig14":
+		return []*core.Table{experiments.Fig14(o)}, nil
+	case "verdicts":
+		return []*core.Table{experiments.Verdicts(o)}, nil
+	case "all":
+		return experiments.All(o), nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", exp)
+}
+
+// parseProcs parses a comma-separated processor-count list.
+func parseProcs(s string) ([]int, error) {
+	var ps []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad processor count %q", f)
+		}
+		ps = append(ps, v)
+	}
+	return ps, nil
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see doc comment; 'all' runs everything)")
+	quick := flag.Bool("quick", false, "reduced workloads and processor counts")
+	procs := flag.String("procs", "", "comma-separated processor counts (overrides default)")
+	format := flag.String("format", "text", "output format: text or json")
+	flag.Parse()
+
+	o := experiments.DefaultOpts()
+	if *quick {
+		o = experiments.QuickOpts()
+	}
+	if *procs != "" {
+		ps, err := parseProcs(*procs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "o2kbench:", err)
+			os.Exit(2)
+		}
+		o.Procs = ps
+	}
+
+	tables, err := tablesFor(*exp, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "o2kbench:", err)
+		os.Exit(2)
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, "o2kbench:", err)
+			os.Exit(1)
+		}
+	case "text":
+		for i, t := range tables {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(t.String())
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "o2kbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}

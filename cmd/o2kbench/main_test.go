@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"o2k/internal/experiments"
+)
+
+func TestTablesForAllNames(t *testing.T) {
+	o := experiments.QuickOpts()
+	o.Procs = []int{1, 2}
+	for _, name := range []string{"table1", "loc", "fig2", "mesh-speedup"} {
+		tabs, err := tablesFor(name, o)
+		if err != nil || len(tabs) == 0 {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := tablesFor("nope", o); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestParseProcs(t *testing.T) {
+	ps, err := parseProcs("1, 2,8")
+	if err != nil || len(ps) != 3 || ps[2] != 8 {
+		t.Fatalf("parseProcs: %v %v", ps, err)
+	}
+	for _, bad := range []string{"", "0", "x", "1,,2", "-3"} {
+		if _, err := parseProcs(bad); err == nil {
+			t.Fatalf("parseProcs accepted %q", bad)
+		}
+	}
+}
+
+func TestTablesSerializeToJSON(t *testing.T) {
+	o := experiments.QuickOpts()
+	o.Procs = []int{1, 2}
+	tabs, err := tablesFor("table1", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(tabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []struct {
+		Title  string
+		Header []string
+		Rows   [][]string
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Title == "" || len(back[0].Rows) == 0 {
+		t.Fatalf("json round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,14 @@
+// Package o2k reproduces "A Comparison of Three Programming Models for
+// Adaptive Applications on the Origin2000" (Shan, Singh, Oliker, Biswas;
+// SC 2000) as a self-contained Go system: a deterministic virtual-time
+// simulator of an Origin2000-class ccNUMA machine, three programming-model
+// runtimes (MPI-style message passing, SGI/Cray SHMEM-style one-sided
+// communication, and the hardware cache-coherent shared address space), two
+// adaptive applications implemented once per model (dynamic unstructured
+// mesh adaptation with a PLUM-style load balancer, and Barnes-Hut N-body),
+// and a harness that regenerates the study's tables and figures.
+//
+// Start with README.md, DESIGN.md (system inventory and experiment index),
+// and examples/quickstart. The root bench_test.go regenerates every table
+// and figure; cmd/o2kbench does the same from the command line.
+package o2k

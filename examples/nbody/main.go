@@ -1,0 +1,39 @@
+// Nbody: the Barnes-Hut comparison — a different adaptivity signature from
+// the mesh code (work-per-body shifts between processors; all-to-all
+// visibility of positions each step) and a different winner profile.
+package main
+
+import (
+	"fmt"
+
+	"o2k/internal/apps/barnes"
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/sim"
+)
+
+func main() {
+	w := barnes.Default()
+	fmt.Printf("barnes-hut: %d bodies, %d steps, theta=%.2f\n\n", w.N, w.Steps, w.Theta)
+
+	for _, procs := range []int{1, 16, 64} {
+		mach := machine.MustNew(machine.Default(procs))
+		plans := barnes.BuildPlans(w, procs)
+		t := &core.Table{
+			Title:  fmt.Sprintf("P=%d", procs),
+			Header: []string{"model", "total", "tree", "force", "exchange", "checksum"},
+		}
+		for _, model := range core.AllModels() {
+			met := barnes.RunWithPlans(model, mach, w, plans)
+			t.AddRow(model.String(), core.FT(met.Total),
+				core.FT(met.PhaseMax[sim.PhaseTree]),
+				core.FT(met.PhaseMax[sim.PhaseCompute]),
+				core.FT(met.PhaseMax[sim.PhaseComm]),
+				fmt.Sprintf("%.10g", met.Checksum))
+		}
+		fmt.Print(t.String())
+		fmt.Println()
+	}
+	fmt.Println("reference checksum:", barnes.ReferenceChecksum(w))
+	fmt.Println("(replicated tree build pins MP/SHMEM; CC-SAS builds it in parallel)")
+}

@@ -1,0 +1,32 @@
+// Timeline: render the virtual-time Gantt chart of one adaptive-mesh cycle
+// under each programming model — the visual form of the phase-breakdown
+// table. Columns are virtual time; each row is a processor; letters are
+// phases (C compute, m comm, . sync/waiting, K mark, R refine, P partition,
+// M remap).
+package main
+
+import (
+	"fmt"
+
+	"o2k/internal/apps/adaptmesh"
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/sim"
+)
+
+func main() {
+	const procs = 8
+	w := adaptmesh.Small()
+	mach := machine.MustNew(machine.Default(procs))
+	plans := adaptmesh.BuildPlans(w, procs)
+
+	for _, model := range core.AllModels() {
+		fmt.Printf("=== %v ===\n", model)
+		g := adaptmesh.TraceRun(model, mach, w, plans)
+		fmt.Print(sim.RenderTimeline(g, 100))
+		fmt.Println()
+	}
+	fmt.Println("reading the chart: MP rows alternate compute (C) and message")
+	fmt.Println("overhead (m); CC-SAS rows are mostly C with thin sync (.) bands —")
+	fmt.Println("its communication is invisible, folded into memory-system stalls.")
+}

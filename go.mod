@@ -1,0 +1,3 @@
+module o2k
+
+go 1.22

@@ -1,0 +1,305 @@
+package adaptmesh
+
+// The hybrid (MP+SAS) implementation of the adaptive-mesh application — the
+// extension model beyond the paper's three: one MP process per node board,
+// with the node's processors cooperating through shared memory. The
+// decomposition is built at *node* granularity, so inter-node messages are
+// fewer and larger than pure MP's, and intra-node work splits between the
+// node's processors with cheap local barriers. The cost is node-level
+// serialization: only the node leader communicates, so partners idle during
+// exchange phases — the classic hybrid trade-off.
+//
+// Numerics: the node's two processors accumulate edge partial sums in
+// separate private accumulators that the leader combines in lane order, so
+// results are deterministic run-to-run but associate differently from the
+// pure models' (validated against the sequential reference within
+// floating-point tolerance rather than bitwise).
+
+import (
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/mp"
+	"o2k/internal/numa"
+	"o2k/internal/sim"
+	"o2k/internal/solver"
+)
+
+// RunHybrid executes the workload under the hybrid MP+SAS model on mach
+// (plans are built at node granularity).
+func RunHybrid(mach *machine.Machine, w Workload) core.Metrics {
+	return RunHybridWithPlans(mach, w, BuildPlans(w, mach.Nodes()))
+}
+
+// RunHybridWithPlans is RunHybrid with precomputed node-granularity plans.
+func RunHybridWithPlans(mach *machine.Machine, w Workload, plans []*CyclePlan) core.Metrics {
+	nprocs := mach.Procs()
+	nnodes := mach.Nodes()
+	if plans[0].Dec.P != nnodes {
+		panic("adaptmesh: hybrid plans must be built for mach.Nodes() parts")
+	}
+	g := sim.NewGroup(nprocs)
+	sp := numa.NewSpace(mach)
+	// The MP layer spans node leaders: give it a machine whose "processors"
+	// are the nodes themselves, preserving the inter-node hop geometry.
+	mpCfg := mach.Cfg
+	mpCfg.Procs = nnodes
+	mpCfg.ProcsPerNode = 1
+	world := mp.NewWorld(machine.MustNew(mpCfg))
+
+	// Intra-node barriers (cheap: same board).
+	nodeOf := func(pid int) int { return mach.Node(pid) }
+	nodeSize := make([]int, nnodes)
+	for pid := 0; pid < nprocs; pid++ {
+		nodeSize[nodeOf(pid)]++
+	}
+	nodeBar := make([]*sim.Barrier, nnodes)
+	for n := range nodeBar {
+		nodeBar[n] = sim.NewBarrier(nodeSize[n], func(int) sim.Time {
+			return mach.Cfg.SasBarrierBase
+		})
+	}
+
+	var uOld []*numa.Array[float64]
+	var auxOld [][]*numa.Array[float64]
+	var checksum float64
+	for ci, pl := range plans {
+		uNode := make([]*numa.Array[float64], nnodes)
+		auxNode := make([][]*numa.Array[float64], nnodes)
+		accLane := make([]*numa.Array[float64], nprocs)
+		for n := 0; n < nnodes; n++ {
+			uNode[n] = numa.NewPrivate[float64](sp, n*mach.Cfg.ProcsPerNode, pl.NV)
+			auxNode[n] = make([]*numa.Array[float64], w.AuxFields)
+			for k := range auxNode[n] {
+				auxNode[n][k] = numa.NewPrivate[float64](sp, n*mach.Cfg.ProcsPerNode, pl.NV)
+			}
+		}
+		for q := 0; q < nprocs; q++ {
+			accLane[q] = numa.NewPrivate[float64](sp, q, pl.NV)
+		}
+		var prev *CyclePlan
+		if ci > 0 {
+			prev = plans[ci-1]
+		}
+		g.Run(func(p *sim.Proc) {
+			node := nodeOf(p.ID())
+			cs := hybridCycle(p, mach, world, w, pl, prev, node, p.ID()%mach.Cfg.ProcsPerNode,
+				nodeSize[node], nodeBar[node], uOld, auxOld, uNode, auxNode, accLane)
+			if p.ID() == 0 {
+				checksum = cs
+			}
+		})
+		uOld = uNode
+		auxOld = auxNode
+	}
+	met := finishMetrics(core.Hybrid, g, sp, plans, 2+w.AuxFields, checksum)
+	// Hybrid data memory: MP-style replication, but at node granularity.
+	mpB, _, _ := maxDataMemory(plans, 2+w.AuxFields)
+	met.DataBytes = mpB
+	return met
+}
+
+// maxDataMemory returns the peak per-model analytic memory over the plans.
+func maxDataMemory(plans []*CyclePlan, nfields int) (mpB, shB, saB int) {
+	for _, pl := range plans {
+		a, b, c := pl.Dec.DataMemory(nfields)
+		if a > mpB {
+			mpB, shB, saB = a, b, c
+		}
+	}
+	return
+}
+
+// lane returns this lane's slice of a node-level work list.
+func laneSlice(list []int32, lane, nodeP int) []int32 {
+	lo := lane * len(list) / nodeP
+	hi := (lane + 1) * len(list) / nodeP
+	return list[lo:hi]
+}
+
+func hybridCycle(p *sim.Proc, mach *machine.Machine, world *mp.World, w Workload,
+	pl, prev *CyclePlan, node, lane, nodeP int, bar *sim.Barrier,
+	uOldArr []*numa.Array[float64], auxOldArr [][]*numa.Array[float64],
+	uNodeArr []*numa.Array[float64], auxNodeArr [][]*numa.Array[float64],
+	accLane []*numa.Array[float64]) float64 {
+
+	dec := pl.Dec
+	u := uNodeArr[node]
+	aux := auxNodeArr[node]
+	nf := 1 + w.AuxFields
+	acc := accLane[p.ID()]
+	leader := lane == 0
+	var r *mp.Rank
+	if leader {
+		r = world.RankAs(p, node)
+	}
+	opNS := mach.Cfg.OpNS
+
+	// --- mark: the node's triangles split across its lanes.
+	chargeOps(p, mach, sim.PhaseMark, solver.MarkOps*(pl.MarkWork[node]/nodeP+1))
+
+	// --- refine: leader allgathers the change records; every lane applies a
+	// share of the node's slice.
+	ph := p.SetPhase(sim.PhaseRefine)
+	if leader {
+		mp.Allgatherv(r, refineRecords(pl, world.Size()))
+	}
+	p.SetPhase(ph)
+	chargeOps(p, mach, sim.PhaseRefine,
+		solver.ApplyOps*((pl.Changes+world.Size()*nodeP-1)/(world.Size()*nodeP)))
+	bar.Wait(p)
+
+	// --- partition: parallel share across all processors plus the serial
+	// floor (same as the pure models).
+	nt := pl.M.NumTris()
+	ne := pl.M.NumEdges()
+	levels := mach.LogStages(dec.P)
+	if levels < 1 {
+		levels = 1
+	}
+	chargeOps(p, mach, sim.PhasePartition,
+		(solver.PartOps*nt*levels+8*(nt+ne))/(dec.P*nodeP)+2*nt)
+
+	// --- remap: leader migrates between nodes; lanes share interpolation.
+	ph = p.SetPhase(sim.PhaseRemap)
+	if prev == nil {
+		for _, v := range laneSlice(dec.OwnedVerts[node], lane, nodeP) {
+			u.Store(p, int(v), w.initialField(pl.M.VX[v], pl.M.VY[v]))
+			for k, ax := range aux {
+				ax.Store(p, int(v), auxInit(k, pl.M.VX[v], pl.M.VY[v]))
+			}
+		}
+		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(dec.OwnedVerts[node])/nodeP)
+	} else {
+		uOld := uOldArr[node]
+		auxOld := auxOldArr[node]
+		for _, v := range laneSlice(pl.LocalKeep[node], lane, nodeP) {
+			u.Store(p, int(v), uOld.Load(p, int(v)))
+			for k, ax := range aux {
+				ax.Store(p, int(v), auxOld[k].Load(p, int(v)))
+			}
+		}
+		if leader {
+			for dst := 0; dst < world.Size(); dst++ {
+				lst := pl.MoveSend[node][dst]
+				if len(lst) == 0 {
+					continue
+				}
+				vals := make([]float64, nf*len(lst))
+				for i, v := range lst {
+					vals[nf*i] = uOld.Load(p, int(v))
+					for k := range aux {
+						vals[nf*i+1+k] = auxOld[k].Load(p, int(v))
+					}
+				}
+				mp.Send(r, dst, tagMig, vals)
+			}
+			for src := 0; src < world.Size(); src++ {
+				lst := pl.MoveSend[src][node]
+				if len(lst) == 0 {
+					continue
+				}
+				vals := mp.Recv[float64](r, src, tagMig)
+				for i, v := range lst {
+					u.Store(p, int(v), vals[nf*i])
+					for k, ax := range aux {
+						ax.Store(p, int(v), vals[nf*i+1+k])
+					}
+				}
+			}
+		}
+		bar.Wait(p) // migrated values visible node-wide before interpolation
+		read := func(x int32) float64 { return u.Load(p, int(x)) }
+		for _, v := range laneSlice(pl.InterpOwned[node], lane, nodeP) {
+			u.Store(p, int(v), pl.InterpValue(v, read))
+		}
+		for _, ax := range aux {
+			axv := ax
+			readAux := func(x int32) float64 { return axv.Load(p, int(x)) }
+			for _, v := range laneSlice(pl.InterpOwned[node], lane, nodeP) {
+				axv.Store(p, int(v), pl.InterpValue(v, readAux))
+			}
+		}
+		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(pl.InterpOwned[node])/nodeP)
+	}
+	p.SetPhase(ph)
+	bar.Wait(p)
+
+	// --- solve
+	p.SetPhase(sim.PhaseCompute)
+	if leader {
+		mpGhostExchange(r, pl, u)
+	}
+	bar.Wait(p)
+	leaderAcc := accLane[p.ID()-lane] // lane 0's accumulator of this node
+	for it := 0; it < w.SolveIters; it++ {
+		for _, v := range pl.Clear[node] {
+			acc.Store(p, int(v), 0)
+		}
+		for _, e := range laneSlice(dec.OwnedEdges[node], lane, nodeP) {
+			a, b := pl.M.Edges[e][0], pl.M.Edges[e][1]
+			f := solver.Flux(u.Load(p, int(a)), u.Load(p, int(b)))
+			acc.Store(p, int(a), acc.Load(p, int(a))+f)
+			acc.Store(p, int(b), acc.Load(p, int(b))-f)
+			p.Advance(sim.Time(solver.FluxOps) * opNS)
+		}
+		bar.Wait(p)
+		if leader {
+			// Combine the lanes' partials into the leader's accumulator, in
+			// lane order, then run the node-level exchange.
+			for ln := 1; ln < nodeP; ln++ {
+				other := accLane[p.ID()+ln]
+				for _, v := range pl.Clear[node] {
+					acc.Store(p, int(v), acc.Load(p, int(v))+other.Load(p, int(v)))
+				}
+			}
+			phc := p.SetPhase(sim.PhaseComm)
+			for q := 0; q < world.Size(); q++ {
+				lst := dec.Border[node][q]
+				if len(lst) == 0 {
+					continue
+				}
+				vals := make([]float64, len(lst))
+				for i, v := range lst {
+					vals[i] = acc.Load(p, int(v))
+				}
+				mp.Send(r, q, tagPartial, vals)
+			}
+			for q := 0; q < world.Size(); q++ {
+				lst := dec.Border[q][node]
+				if len(lst) == 0 {
+					continue
+				}
+				vals := mp.Recv[float64](r, q, tagPartial)
+				for i, v := range lst {
+					acc.Store(p, int(v), acc.Load(p, int(v))+vals[i])
+				}
+			}
+			p.SetPhase(phc)
+		}
+		bar.Wait(p)
+		for _, v := range laneSlice(dec.OwnedVerts[node], lane, nodeP) {
+			u.Store(p, int(v), solver.Update(u.Load(p, int(v)), leaderAcc.Load(p, int(v)), pl.Deg[v]))
+			p.Advance(sim.Time(solver.UpdateOps) * opNS)
+		}
+		bar.Wait(p)
+		if leader {
+			mpGhostExchange(r, pl, u)
+		}
+		bar.Wait(p)
+	}
+
+	// Checksum: node sums by the leader, combined across nodes in rank order.
+	var cs float64
+	if leader {
+		s := 0.0
+		for _, v := range dec.OwnedVerts[node] {
+			s += u.Load(p, int(v))
+			for _, ax := range aux {
+				s += ax.Load(p, int(v))
+			}
+		}
+		cs = mp.Allreduce1(r, s, mp.OpSum)
+	}
+	bar.Wait(p)
+	return cs
+}

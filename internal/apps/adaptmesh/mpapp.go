@@ -1,0 +1,238 @@
+package adaptmesh
+
+// The message-passing (MPI-style) implementation of the adaptive-mesh
+// application. Every piece of data a process touches lives in its private
+// memory; all sharing is explicit two-sided messaging:
+//
+//   - refine:   allgather of structural change records, replicated apply;
+//   - remap:    point-to-point migration of field values to new owners;
+//   - solve:    per-sweep exchange of partial sums to vertex owners and of
+//               updated values back to ghost copies.
+
+import (
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/mp"
+	"o2k/internal/numa"
+	"o2k/internal/sim"
+	"o2k/internal/solver"
+)
+
+const (
+	tagMig     = 12
+	tagPartial = 13
+	tagGhost   = 14
+)
+
+func runMP(mach *machine.Machine, w Workload, plans []*CyclePlan, g *sim.Group) core.Metrics {
+	nprocs := mach.Procs()
+	world := mp.NewWorld(mach)
+	sp := numa.NewSpace(mach)
+
+	var uOld []*numa.Array[float64]
+	var auxOld [][]*numa.Array[float64]
+	var checksum float64
+	for ci, pl := range plans {
+		// Host-side allocation in rank order keeps addresses, and therefore
+		// cache behaviour, deterministic.
+		uNew := make([]*numa.Array[float64], nprocs)
+		acc := make([]*numa.Array[float64], nprocs)
+		auxNew := make([][]*numa.Array[float64], nprocs)
+		for q := 0; q < nprocs; q++ {
+			uNew[q] = numa.NewPrivate[float64](sp, q, pl.NV)
+			acc[q] = numa.NewPrivate[float64](sp, q, pl.NV)
+			auxNew[q] = make([]*numa.Array[float64], w.AuxFields)
+			for k := range auxNew[q] {
+				auxNew[q][k] = numa.NewPrivate[float64](sp, q, pl.NV)
+			}
+		}
+		var prev *CyclePlan
+		if ci > 0 {
+			prev = plans[ci-1]
+		}
+		g.Run(func(p *sim.Proc) {
+			cs := mpCycle(world.Rank(p), mach, w, pl, prev,
+				uOld, auxOld, uNew[p.ID()], auxNew[p.ID()], acc[p.ID()])
+			if p.ID() == 0 {
+				checksum = cs
+			}
+		})
+		uOld = uNew
+		auxOld = auxNew
+	}
+	return finishMetrics(core.MP, g, sp, plans, 2+w.AuxFields, checksum)
+}
+
+func mpCycle(r *mp.Rank, mach *machine.Machine, w Workload, pl, prev *CyclePlan,
+	uOldArr []*numa.Array[float64], auxOldArr [][]*numa.Array[float64],
+	u *numa.Array[float64], aux []*numa.Array[float64], acc *numa.Array[float64]) float64 {
+
+	me := r.ID()
+	p := r.P
+	dec := pl.Dec
+
+	// --- mark: local error-indicator evaluation.
+	chargeMark(p, mach, pl)
+
+	// --- refine: each rank applies its share of the structural changes,
+	// then the change records are allgathered so every rank can update the
+	// halo portions of its mesh structure — the messaging is the MP price of
+	// making adaptation globally visible.
+	ph := p.SetPhase(sim.PhaseRefine)
+	mp.Allgatherv(r, refineRecords(pl, r.Size()))
+	p.SetPhase(ph)
+	chargeOps(p, mach, sim.PhaseRefine, solver.ApplyOps*((pl.Changes+r.Size()-1)/r.Size()))
+
+	// --- partition: replicated RCB (identical cost in every model).
+	chargePartition(p, mach, pl)
+
+	// --- remap: migrate old field values to new owners, then interpolate
+	// the vertices created by this cycle's refinement.
+	ph = p.SetPhase(sim.PhaseRemap)
+	nf := 1 + w.AuxFields // values migrated per vertex
+	if prev == nil {
+		for _, v := range dec.OwnedVerts[me] {
+			u.Store(p, int(v), w.initialField(pl.M.VX[v], pl.M.VY[v]))
+			for k, ax := range aux {
+				ax.Store(p, int(v), auxInit(k, pl.M.VX[v], pl.M.VY[v]))
+			}
+		}
+		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(dec.OwnedVerts[me]))
+	} else {
+		uOld := uOldArr[me]
+		auxOld := auxOldArr[me]
+		for _, v := range pl.LocalKeep[me] {
+			u.Store(p, int(v), uOld.Load(p, int(v)))
+			for k, ax := range aux {
+				ax.Store(p, int(v), auxOld[k].Load(p, int(v)))
+			}
+		}
+		for dst := 0; dst < r.Size(); dst++ {
+			lst := pl.MoveSend[me][dst]
+			if len(lst) == 0 {
+				continue
+			}
+			vals := make([]float64, nf*len(lst))
+			for i, v := range lst {
+				vals[nf*i] = uOld.Load(p, int(v))
+				for k := range aux {
+					vals[nf*i+1+k] = auxOld[k].Load(p, int(v))
+				}
+			}
+			mp.Send(r, dst, tagMig, vals)
+		}
+		for src := 0; src < r.Size(); src++ {
+			lst := pl.MoveSend[src][me]
+			if len(lst) == 0 {
+				continue
+			}
+			vals := mp.Recv[float64](r, src, tagMig)
+			for i, v := range lst {
+				u.Store(p, int(v), vals[nf*i])
+				for k, ax := range aux {
+					ax.Store(p, int(v), vals[nf*i+1+k])
+				}
+			}
+		}
+		read := func(x int32) float64 { return u.Load(p, int(x)) }
+		for _, v := range pl.InterpOwned[me] {
+			u.Store(p, int(v), pl.InterpValue(v, read))
+		}
+		for k, ax := range aux {
+			readAux := func(x int32) float64 { return ax.Load(p, int(x)) }
+			_ = k
+			for _, v := range pl.InterpOwned[me] {
+				ax.Store(p, int(v), pl.InterpValue(v, readAux))
+			}
+		}
+		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(pl.InterpOwned[me]))
+	}
+	p.SetPhase(ph)
+
+	// --- solve: edge-based sweeps with owner-accumulation exchanges.
+	p.SetPhase(sim.PhaseCompute)
+	mpGhostExchange(r, pl, u)
+	opNS := mach.Cfg.OpNS
+	for it := 0; it < w.SolveIters; it++ {
+		for _, v := range pl.Clear[me] {
+			acc.Store(p, int(v), 0)
+		}
+		for _, e := range dec.OwnedEdges[me] {
+			a, b := pl.M.Edges[e][0], pl.M.Edges[e][1]
+			f := solver.Flux(u.Load(p, int(a)), u.Load(p, int(b)))
+			acc.Store(p, int(a), acc.Load(p, int(a))+f)
+			acc.Store(p, int(b), acc.Load(p, int(b))-f)
+			p.Advance(sim.Time(solver.FluxOps) * opNS)
+		}
+		// Partial sums to vertex owners.
+		phc := p.SetPhase(sim.PhaseComm)
+		for q := 0; q < r.Size(); q++ {
+			lst := dec.Border[me][q]
+			if len(lst) == 0 {
+				continue
+			}
+			vals := make([]float64, len(lst))
+			for i, v := range lst {
+				vals[i] = acc.Load(p, int(v))
+			}
+			mp.Send(r, q, tagPartial, vals)
+		}
+		for q := 0; q < r.Size(); q++ {
+			lst := dec.Border[q][me]
+			if len(lst) == 0 {
+				continue
+			}
+			vals := mp.Recv[float64](r, q, tagPartial)
+			for i, v := range lst {
+				acc.Store(p, int(v), acc.Load(p, int(v))+vals[i])
+			}
+		}
+		p.SetPhase(phc)
+		for _, v := range dec.OwnedVerts[me] {
+			u.Store(p, int(v), solver.Update(u.Load(p, int(v)), acc.Load(p, int(v)), pl.Deg[v]))
+			p.Advance(sim.Time(solver.UpdateOps) * opNS)
+		}
+		mpGhostExchange(r, pl, u)
+	}
+
+	// Deterministic digest: per-rank owned sums (solved + auxiliary state)
+	// combined in rank order.
+	s := 0.0
+	for _, v := range dec.OwnedVerts[me] {
+		s += u.Load(p, int(v))
+		for _, ax := range aux {
+			s += ax.Load(p, int(v))
+		}
+	}
+	return mp.Allreduce1(r, s, mp.OpSum)
+}
+
+// mpGhostExchange sends each neighbour the updated values of the vertices I
+// own that it touches, and refreshes my ghost copies from their owners.
+func mpGhostExchange(r *mp.Rank, pl *CyclePlan, u *numa.Array[float64]) {
+	me := r.ID()
+	p := r.P
+	dec := pl.Dec
+	defer p.SetPhase(p.SetPhase(sim.PhaseComm))
+	for q := 0; q < r.Size(); q++ {
+		lst := dec.Border[q][me] // q touches these; I own them
+		if len(lst) == 0 {
+			continue
+		}
+		vals := make([]float64, len(lst))
+		for i, v := range lst {
+			vals[i] = u.Load(p, int(v))
+		}
+		mp.Send(r, q, tagGhost, vals)
+	}
+	for q := 0; q < r.Size(); q++ {
+		lst := dec.Border[me][q] // I touch these; q owns them
+		if len(lst) == 0 {
+			continue
+		}
+		vals := mp.Recv[float64](r, q, tagGhost)
+		for i, v := range lst {
+			u.Store(p, int(v), vals[i])
+		}
+	}
+}

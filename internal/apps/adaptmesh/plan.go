@@ -1,0 +1,312 @@
+package adaptmesh
+
+import (
+	"sort"
+
+	"o2k/internal/mesh"
+	"o2k/internal/partition"
+	"o2k/internal/solver"
+)
+
+// CyclePlan is the structural state of one adaptation cycle: the snapshot,
+// its decomposition, and the (deterministic) migration and interpolation
+// schedules every programming model executes against. Because the error
+// indicator is geometric, the whole sequence of plans is computable up
+// front and — crucially for the cross-model comparison — shared verbatim by
+// all three implementations.
+type CyclePlan struct {
+	Step  int
+	M     *mesh.Mesh
+	Dec   *partition.Decomp
+	Deg   []int32 // per global vertex ID, edge degree in this snapshot
+	NV    int     // vertex-ID space size after this cycle's adaptation
+	Stats mesh.AdaptStats
+	Green int // green closure triangles in the snapshot
+
+	// MidA/MidB alias the forest's parent arrays (length NV).
+	MidA, MidB []int32
+
+	// PrevOwner[v] is v's owner in the previous cycle's decomposition, or -1
+	// if v was not used then (nil in cycle 0).
+	PrevOwner []int32
+
+	// MoveSend[src][dst] lists vertex IDs (ascending) whose previous-cycle
+	// values processor src must deliver to processor dst (src != dst): the
+	// values dst needs to seed its owned vertices and to interpolate its new
+	// ones.
+	MoveSend [][][]int32
+
+	// LocalKeep[p] lists vertex IDs whose values stay on p across the cycle.
+	LocalKeep [][]int32
+
+	// InterpOwned[p] lists the new (previously unused) vertices p owns and
+	// must interpolate, ascending.
+	InterpOwned [][]int32
+
+	// Clear[p] lists the vertices p must zero in its accumulator each sweep:
+	// everything its edges touch plus everything it owns, ascending.
+	Clear [][]int32
+
+	Imbalance float64
+	Remap     partition.RemapStats
+
+	// MarkWork[p] is the number of triangles p evaluates the error indicator
+	// on (its share of the pre-adaptation mesh).
+	MarkWork []int
+	// Changes is the number of structural elements the refinement step
+	// touches (children created/removed plus green closures).
+	Changes int
+}
+
+// BuildPlans runs the structural side of the whole experiment: Cycles
+// adaptations of the forest, each partitioned for nprocs processors, with
+// migration/interpolation schedules chained cycle to cycle.
+func BuildPlans(w Workload, nprocs int) []*CyclePlan {
+	f := mesh.NewUnitSquare(w.GridN, w.MaxLevel)
+	plans := make([]*CyclePlan, 0, w.Cycles)
+	var prev *CyclePlan
+	for c := 0; c < w.Cycles; c++ {
+		step := c
+		if w.StaticMesh {
+			step = 0
+		}
+		st := f.Adapt(w.indicatorAt(step))
+		m := f.Snapshot()
+		p := buildCycle(f, m, st, c, nprocs, prev, w.NoRemap)
+		plans = append(plans, p)
+		prev = p
+	}
+	return plans
+}
+
+func buildCycle(f *mesh.Forest, m *mesh.Mesh, st mesh.AdaptStats, cycle, nprocs int, prev *CyclePlan, noRemap bool) *CyclePlan {
+	nt := m.NumTris()
+	xs := make([]float64, nt)
+	ys := make([]float64, nt)
+	wt := make([]float64, nt)
+	for t := 0; t < nt; t++ {
+		xs[t], ys[t] = m.Centroid(t)
+		wt[t] = 1
+	}
+	part := partition.RCB(xs, ys, wt, nprocs)
+
+	p := &CyclePlan{
+		Step:  cycle,
+		M:     m,
+		Stats: st,
+		NV:    m.NumVertsTotal(),
+		MidA:  f.MidA,
+		MidB:  f.MidB,
+	}
+	for _, g := range m.Green {
+		if g {
+			p.Green++
+		}
+	}
+
+	// PLUM remap: similarity between the new parts and the previous owners.
+	assign := partition.IdentityAssign(nprocs)
+	if prev != nil {
+		oldOwner := make([]int32, nt)
+		for t := 0; t < nt; t++ {
+			oldOwner[t] = ancestorOwner(f, prev, m.Tris[t][0])
+		}
+		if noRemap {
+			p.Remap = partition.MigrationStats(oldOwner, part, wt, assign, nprocs)
+		} else {
+			assign, p.Remap = partition.Remap(oldOwner, part, wt, nprocs)
+		}
+	}
+	triOwner := make([]int32, nt)
+	for t := 0; t < nt; t++ {
+		triOwner[t] = assign[part[t]]
+	}
+	p.Dec = partition.NewDecomp(m, triOwner, nprocs)
+	p.Deg = solver.Degrees(m)
+	p.Imbalance = partition.Imbalance(triOwner, wt, nprocs)
+
+	if prev != nil {
+		p.PrevOwner = prev.Dec.VertOwner
+	}
+	p.Changes = 4*st.Refined + 4*st.Coarsened + p.Green
+	p.MarkWork = make([]int, nprocs)
+	for q := 0; q < nprocs; q++ {
+		if prev != nil {
+			p.MarkWork[q] = len(prev.Dec.OwnedTris[q])
+		} else {
+			p.MarkWork[q] = (f.BaseTris() + nprocs - 1) / nprocs
+		}
+	}
+	p.buildMigration(nprocs)
+	p.buildClearLists(nprocs)
+	return p
+}
+
+// ancestorOwner walks v's parent chain until a vertex that was used in the
+// previous cycle, returning its previous owner — the "where did this region
+// live" proxy the remapper's similarity matrix needs.
+func ancestorOwner(f *mesh.Forest, prev *CyclePlan, v int32) int32 {
+	for {
+		if int(v) < len(prev.Dec.VertOwner) {
+			if o := prev.Dec.VertOwner[v]; o >= 0 {
+				return o
+			}
+		}
+		a := f.MidA[v]
+		if a < 0 {
+			return 0 // base vertex never used: cannot happen, but stay total
+		}
+		v = a
+	}
+}
+
+// prevOwnerOf returns v's previous-cycle owner or -1.
+func (p *CyclePlan) prevOwnerOf(v int32) int32 {
+	if p.PrevOwner == nil || int(v) >= len(p.PrevOwner) {
+		return -1
+	}
+	return p.PrevOwner[v]
+}
+
+// expandLeaves appends to out the previously-used ancestors whose values
+// are needed to interpolate v, in parent-recursion order.
+func (p *CyclePlan) expandLeaves(v int32, out []int32) []int32 {
+	if p.prevOwnerOf(v) >= 0 {
+		return append(out, v)
+	}
+	a, b := p.MidA[v], p.MidB[v]
+	if a < 0 {
+		// A base vertex that was never used before: only possible in cycle 0,
+		// which seeds analytically and never calls this.
+		panic("adaptmesh: unexpanded base vertex")
+	}
+	out = p.expandLeaves(a, out)
+	return p.expandLeaves(b, out)
+}
+
+// buildMigration fills MoveSend, LocalKeep and InterpOwned.
+func (p *CyclePlan) buildMigration(nprocs int) {
+	p.MoveSend = make([][][]int32, nprocs)
+	for s := range p.MoveSend {
+		p.MoveSend[s] = make([][]int32, nprocs)
+	}
+	p.LocalKeep = make([][]int32, nprocs)
+	p.InterpOwned = make([][]int32, nprocs)
+	if p.PrevOwner == nil {
+		return // cycle 0: analytic initialization, nothing to migrate
+	}
+	type pair = [2]int32
+	sent := make(map[pair]bool) // (dst, vid) already scheduled
+	var leaves []int32
+	for dst := 0; dst < nprocs; dst++ {
+		for _, v := range p.Dec.OwnedVerts[dst] {
+			if src := p.prevOwnerOf(v); src >= 0 {
+				if !sent[pair{int32(dst), v}] {
+					sent[pair{int32(dst), v}] = true
+					if int(src) == dst {
+						p.LocalKeep[dst] = append(p.LocalKeep[dst], v)
+					} else {
+						p.MoveSend[src][dst] = append(p.MoveSend[src][dst], v)
+					}
+				}
+				continue
+			}
+			p.InterpOwned[dst] = append(p.InterpOwned[dst], v)
+			leaves = p.expandLeaves(v, leaves[:0])
+			for _, lv := range leaves {
+				if sent[pair{int32(dst), lv}] {
+					continue
+				}
+				sent[pair{int32(dst), lv}] = true
+				src := p.prevOwnerOf(lv)
+				if int(src) == dst {
+					p.LocalKeep[dst] = append(p.LocalKeep[dst], lv)
+				} else {
+					p.MoveSend[src][dst] = append(p.MoveSend[src][dst], lv)
+				}
+			}
+		}
+	}
+	// Ascending order everywhere: message contents and local copies must be
+	// deterministic and identical across models.
+	for s := 0; s < nprocs; s++ {
+		sortAsc(p.LocalKeep[s])
+		for d := 0; d < nprocs; d++ {
+			sortAsc(p.MoveSend[s][d])
+		}
+		// OwnedVerts is ascending already, so InterpOwned is too.
+	}
+}
+
+// buildClearLists computes, per processor, the accumulator entries it uses:
+// endpoints of owned edges plus owned vertices.
+func (p *CyclePlan) buildClearLists(nprocs int) {
+	p.Clear = make([][]int32, nprocs)
+	mark := make([]int32, p.NV)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for q := 0; q < nprocs; q++ {
+		for _, e := range p.Dec.OwnedEdges[q] {
+			for _, v := range p.M.Edges[e] {
+				if mark[v] != int32(q) {
+					mark[v] = int32(q)
+					p.Clear[q] = append(p.Clear[q], v)
+				}
+			}
+		}
+		for _, v := range p.Dec.OwnedVerts[q] {
+			if mark[v] != int32(q) {
+				mark[v] = int32(q)
+				p.Clear[q] = append(p.Clear[q], v)
+			}
+		}
+		sortAsc(p.Clear[q])
+	}
+}
+
+func sortAsc(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// InterpValue computes the field value of (possibly new) vertex v from the
+// values of previously-used vertices, via the same recursion in every model:
+// a previously-used vertex reads its (migrated) value; a new vertex is the
+// average of its parents. read must return the previously-used vertex's
+// value; the recursion order and arithmetic are fixed, so results are
+// bit-identical across models.
+func (p *CyclePlan) InterpValue(v int32, read func(int32) float64) float64 {
+	if p.prevOwnerOf(v) >= 0 {
+		return read(v)
+	}
+	return 0.5 * (p.InterpValue(p.MidA[v], read) + p.InterpValue(p.MidB[v], read))
+}
+
+// MaxNV returns the final vertex-ID space size over a plan sequence.
+func MaxNV(plans []*CyclePlan) int {
+	m := 0
+	for _, p := range plans {
+		if p.NV > m {
+			m = p.NV
+		}
+	}
+	return m
+}
+
+// FirstOwner returns, per vertex ID, the owner in the first cycle where the
+// vertex is used (-1 if never) — the deterministic stand-in for first-touch
+// page placement of the CC-SAS shared field.
+func FirstOwner(plans []*CyclePlan) []int32 {
+	out := make([]int32, MaxNV(plans))
+	for i := range out {
+		out[i] = -1
+	}
+	for _, p := range plans {
+		for v := 0; v < p.NV; v++ {
+			if out[v] == -1 && p.Dec.VertOwner[v] >= 0 {
+				out[v] = p.Dec.VertOwner[v]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package adaptmesh
+
+// The one-sided (SHMEM) implementation of the adaptive-mesh application.
+// The decomposition is the same as MP's, but all communication is
+// initiator-driven: partial sums and migrated values are *put* into
+// symmetric staging buffers at precomputed offsets, updated ghost values are
+// pushed with indexed puts directly into the owners' neighbours' field
+// blocks, and barriers provide completion. No receive-side code exists at
+// all — the structural difference the programming-effort table captures.
+
+import (
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/numa"
+	"o2k/internal/shm"
+	"o2k/internal/sim"
+	"o2k/internal/solver"
+)
+
+// shmLayout precomputes the symmetric staging-buffer offsets for one cycle.
+type shmLayout struct {
+	offIn  [][]int // offIn[q][p]: start of region p→q in q's contrib block
+	offMig [][]int // offMig[dst][src]: start of region src→dst in dst's migration block
+	inLen  int     // contrib block length (max over PEs)
+	migLen int     // migration block length (max over PEs)
+}
+
+func buildShmLayout(pl *CyclePlan, nprocs int) *shmLayout {
+	lay := &shmLayout{
+		offIn:  make([][]int, nprocs),
+		offMig: make([][]int, nprocs),
+	}
+	for q := 0; q < nprocs; q++ {
+		lay.offIn[q] = make([]int, nprocs)
+		lay.offMig[q] = make([]int, nprocs)
+		off := 0
+		for p := 0; p < nprocs; p++ {
+			lay.offIn[q][p] = off
+			off += len(pl.Dec.Border[p][q])
+		}
+		if off > lay.inLen {
+			lay.inLen = off
+		}
+		off = 0
+		for src := 0; src < nprocs; src++ {
+			lay.offMig[q][src] = off
+			off += len(pl.MoveSend[src][q])
+		}
+		if off > lay.migLen {
+			lay.migLen = off
+		}
+	}
+	if lay.inLen == 0 {
+		lay.inLen = 1
+	}
+	if lay.migLen == 0 {
+		lay.migLen = 1
+	}
+	return lay
+}
+
+func runSHMEM(mach *machine.Machine, w Workload, plans []*CyclePlan, g *sim.Group) core.Metrics {
+	nprocs := mach.Procs()
+	sp := numa.NewSpace(mach)
+	world := shm.NewWorld(mach, sp)
+
+	var uOld *shm.Sym[float64]
+	var auxOld []*shm.Sym[float64]
+	var checksum float64
+	nf := 1 + w.AuxFields
+	for ci, pl := range plans {
+		lay := buildShmLayout(pl, nprocs)
+		uNew := shm.AllocWorld[float64](world, pl.NV)
+		acc := shm.AllocWorld[float64](world, pl.NV)
+		auxNew := make([]*shm.Sym[float64], w.AuxFields)
+		for k := range auxNew {
+			auxNew[k] = shm.AllocWorld[float64](world, pl.NV)
+		}
+		contrib := shm.AllocWorld[float64](world, lay.inLen)
+		mig := shm.AllocWorld[float64](world, nf*lay.migLen)
+		var prev *CyclePlan
+		if ci > 0 {
+			prev = plans[ci-1]
+		}
+		prevU, prevAux := uOld, auxOld
+		g.Run(func(p *sim.Proc) {
+			cs := shmCycle(world.PE(p), mach, w, pl, prev, lay, prevU, prevAux, uNew, auxNew, acc, contrib, mig)
+			if p.ID() == 0 {
+				checksum = cs
+			}
+		})
+		uOld = uNew
+		auxOld = auxNew
+	}
+	return finishMetrics(core.SHMEM, g, sp, plans, 2+w.AuxFields, checksum)
+}
+
+func shmCycle(pe *shm.PE, mach *machine.Machine, w Workload, pl, prev *CyclePlan,
+	lay *shmLayout, uOld *shm.Sym[float64], auxOld []*shm.Sym[float64],
+	u *shm.Sym[float64], aux []*shm.Sym[float64], acc, contrib, mig *shm.Sym[float64]) float64 {
+
+	me := pe.ID()
+	p := pe.P
+	dec := pl.Dec
+	uL := u.Local(pe)
+	accL := acc.Local(pe)
+
+	// --- mark
+	chargeMark(p, mach, pl)
+
+	// --- refine: each PE applies its share of the structural changes; the
+	// records are shared by a one-sided collect (cheaper than MP's
+	// allgather, but still explicit — unlike CC-SAS).
+	ph := p.SetPhase(sim.PhaseRefine)
+	shm.Collect(pe, refineRecords(pl, pe.Size()))
+	p.SetPhase(ph)
+	chargeOps(p, mach, sim.PhaseRefine, solver.ApplyOps*((pl.Changes+pe.Size()-1)/pe.Size()))
+
+	// --- partition
+	chargePartition(p, mach, pl)
+
+	// --- remap: puts into the migration staging block; completion by
+	// barrier; then interpolate new vertices.
+	ph = p.SetPhase(sim.PhaseRemap)
+	nf := 1 + w.AuxFields
+	auxL := make([]*numa.Array[float64], len(aux))
+	for k := range aux {
+		auxL[k] = aux[k].Local(pe)
+	}
+	if prev == nil {
+		for _, v := range dec.OwnedVerts[me] {
+			uL.Store(p, int(v), w.initialField(pl.M.VX[v], pl.M.VY[v]))
+			for k := range auxL {
+				auxL[k].Store(p, int(v), auxInit(k, pl.M.VX[v], pl.M.VY[v]))
+			}
+		}
+		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(dec.OwnedVerts[me]))
+		pe.Barrier()
+	} else {
+		uOldL := uOld.Local(pe)
+		for _, v := range pl.LocalKeep[me] {
+			uL.Store(p, int(v), uOldL.Load(p, int(v)))
+			for k := range auxL {
+				auxL[k].Store(p, int(v), auxOld[k].Local(pe).Load(p, int(v)))
+			}
+		}
+		for dst := 0; dst < pe.Size(); dst++ {
+			lst := pl.MoveSend[me][dst]
+			if len(lst) == 0 {
+				continue
+			}
+			vals := make([]float64, nf*len(lst))
+			for i, v := range lst {
+				vals[nf*i] = uOldL.Load(p, int(v))
+				for k := range auxL {
+					vals[nf*i+1+k] = auxOld[k].Local(pe).Load(p, int(v))
+				}
+			}
+			shm.Put(pe, mig, dst, nf*lay.offMig[dst][me], vals)
+		}
+		pe.Barrier()
+		migL := mig.Local(pe)
+		for src := 0; src < pe.Size(); src++ {
+			lst := pl.MoveSend[src][me]
+			off := nf * lay.offMig[me][src]
+			for i, v := range lst {
+				uL.Store(p, int(v), migL.Load(p, off+nf*i))
+				for k := range auxL {
+					auxL[k].Store(p, int(v), migL.Load(p, off+nf*i+1+k))
+				}
+			}
+		}
+		read := func(x int32) float64 { return uL.Load(p, int(x)) }
+		for _, v := range pl.InterpOwned[me] {
+			uL.Store(p, int(v), pl.InterpValue(v, read))
+		}
+		for k := range auxL {
+			ax := auxL[k]
+			readAux := func(x int32) float64 { return ax.Load(p, int(x)) }
+			for _, v := range pl.InterpOwned[me] {
+				ax.Store(p, int(v), pl.InterpValue(v, readAux))
+			}
+		}
+		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(pl.InterpOwned[me]))
+	}
+	p.SetPhase(ph)
+
+	// --- solve
+	p.SetPhase(sim.PhaseCompute)
+	shmGhostPush(pe, pl, u, uL)
+	pe.Barrier()
+	opNS := mach.Cfg.OpNS
+	for it := 0; it < w.SolveIters; it++ {
+		for _, v := range pl.Clear[me] {
+			accL.Store(p, int(v), 0)
+		}
+		for _, e := range dec.OwnedEdges[me] {
+			a, b := pl.M.Edges[e][0], pl.M.Edges[e][1]
+			f := solver.Flux(uL.Load(p, int(a)), uL.Load(p, int(b)))
+			accL.Store(p, int(a), accL.Load(p, int(a))+f)
+			accL.Store(p, int(b), accL.Load(p, int(b))-f)
+			p.Advance(sim.Time(solver.FluxOps) * opNS)
+		}
+		// Push partial sums into the owners' contribution blocks.
+		phc := p.SetPhase(sim.PhaseComm)
+		for q := 0; q < pe.Size(); q++ {
+			lst := dec.Border[me][q]
+			if len(lst) == 0 {
+				continue
+			}
+			vals := make([]float64, len(lst))
+			for i, v := range lst {
+				vals[i] = accL.Load(p, int(v))
+			}
+			shm.Put(pe, contrib, q, lay.offIn[q][me], vals)
+		}
+		p.SetPhase(phc)
+		pe.Barrier()
+		contribL := contrib.Local(pe)
+		for q := 0; q < pe.Size(); q++ {
+			lst := dec.Border[q][me]
+			off := lay.offIn[me][q]
+			for i, v := range lst {
+				accL.Store(p, int(v), accL.Load(p, int(v))+contribL.Load(p, off+i))
+			}
+		}
+		for _, v := range dec.OwnedVerts[me] {
+			uL.Store(p, int(v), solver.Update(uL.Load(p, int(v)), accL.Load(p, int(v)), pl.Deg[v]))
+			p.Advance(sim.Time(solver.UpdateOps) * opNS)
+		}
+		shmGhostPush(pe, pl, u, uL)
+		pe.Barrier()
+	}
+
+	s := 0.0
+	for _, v := range dec.OwnedVerts[me] {
+		s += uL.Load(p, int(v))
+		for k := range auxL {
+			s += auxL[k].Load(p, int(v))
+		}
+	}
+	return shm.Allreduce1(pe, s, shm.OpSum)
+}
+
+// shmGhostPush writes my owned vertices' updated values straight into each
+// neighbour's field block with indexed puts; the following barrier makes
+// them visible.
+func shmGhostPush(pe *shm.PE, pl *CyclePlan, u *shm.Sym[float64], uL *numa.Array[float64]) {
+	me := pe.ID()
+	p := pe.P
+	dec := pl.Dec
+	defer p.SetPhase(p.SetPhase(sim.PhaseComm))
+	for q := 0; q < pe.Size(); q++ {
+		lst := dec.Border[q][me]
+		if len(lst) == 0 {
+			continue
+		}
+		vals := make([]float64, len(lst))
+		for i, v := range lst {
+			vals[i] = uL.Load(p, int(v))
+		}
+		shm.PutIdx(pe, u, q, lst, vals)
+	}
+}

@@ -1,0 +1,149 @@
+package barnes
+
+// Message-passing Barnes-Hut: the classic replicated-data organization.
+// Every rank keeps a full private copy of the body arrays and the tree's
+// centre-of-mass data; each step it rebuilds the (replicated) tree, computes
+// forces for its cost-zone, integrates its bodies, and allgathers the
+// updated body state so every rank is again globally consistent.
+
+import (
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/mp"
+	"o2k/internal/nbody"
+	"o2k/internal/numa"
+	"o2k/internal/sim"
+)
+
+type mpState struct {
+	x, y, vx, vy, m *numa.Array[float64]
+}
+
+func runMP(mach *machine.Machine, w Workload, plans []*StepPlan) core.Metrics {
+	nprocs := mach.Procs()
+	g := sim.NewGroup(nprocs)
+	world := mp.NewWorld(mach)
+	sp := numa.NewSpace(mach)
+	b0 := nbody.NewPlummer(w.N, w.Seed)
+
+	st := make([]*mpState, nprocs)
+	for q := 0; q < nprocs; q++ {
+		st[q] = &mpState{
+			x:  numa.NewPrivate[float64](sp, q, w.N),
+			y:  numa.NewPrivate[float64](sp, q, w.N),
+			vx: numa.NewPrivate[float64](sp, q, w.N),
+			vy: numa.NewPrivate[float64](sp, q, w.N),
+			m:  numa.NewPrivate[float64](sp, q, w.N),
+		}
+	}
+
+	// Replicated initialization: every rank fills its full copy.
+	g.Run(func(p *sim.Proc) {
+		s := st[p.ID()]
+		for i := 0; i < w.N; i++ {
+			s.x.Store(p, i, b0.X[i])
+			s.y.Store(p, i, b0.Y[i])
+			s.vx.Store(p, i, b0.VX[i])
+			s.vy.Store(p, i, b0.VY[i])
+			s.m.Store(p, i, b0.M[i])
+		}
+	})
+
+	var checksum float64
+	for _, pl := range plans {
+		cells := make([]*numa.Array[float64], nprocs)
+		for q := 0; q < nprocs; q++ {
+			cells[q] = numa.NewPrivate[float64](sp, q, 3*pl.Tree.NumCells())
+		}
+		g.Run(func(p *sim.Proc) {
+			cs := mpStep(world.Rank(p), mach, w, pl, st[p.ID()], cells[p.ID()])
+			if p.ID() == 0 {
+				checksum = cs
+			}
+		})
+	}
+	return finishMetrics(core.MP, g, sp, w, plans, mach, checksum)
+}
+
+func mpStep(r *mp.Rank, mach *machine.Machine, w Workload, pl *StepPlan,
+	s *mpState, cells *numa.Array[float64]) float64 {
+
+	me := r.ID()
+	p := r.P
+	opNS := mach.Cfg.OpNS
+	t := pl.Tree
+
+	// --- tree: replicated build — every rank inserts every body and stores
+	// every cell's centre of mass.
+	chargeOps(p, mach, sim.PhaseTree, treeOps*w.N*treeLevels(w.N))
+	phT := p.SetPhase(sim.PhaseTree)
+	for c := 0; c < t.NumCells(); c++ {
+		cc := &t.Cells[c]
+		cells.Store(p, 3*c, cc.CX)
+		cells.Store(p, 3*c+1, cc.CY)
+		cells.Store(p, 3*c+2, cc.CM)
+	}
+	p.SetPhase(phT)
+
+	// --- partition
+	chargePartitionStep(p, mach, w, r.Size())
+
+	// --- force
+	p.SetPhase(sim.PhaseCompute)
+	readBody := func(j int32) (float64, float64, float64) {
+		return s.x.Load(p, int(j)), s.y.Load(p, int(j)), s.m.Load(p, int(j))
+	}
+	readCell := func(c int32) (float64, float64, float64) {
+		return cells.Load(p, int(3*c)), cells.Load(p, int(3*c+1)), cells.Load(p, int(3*c+2))
+	}
+	own := pl.OwnedBodies[me]
+	ax := make([]float64, len(own))
+	ay := make([]float64, len(own))
+	for k, i := range own {
+		bx, by := s.x.Load(p, int(i)), s.y.Load(p, int(i))
+		var inter int
+		ax[k], ay[k], inter = t.Accel(i, bx, by, w.Theta, readBody, readCell)
+		p.Advance(sim.Time(inter*forceOps) * opNS)
+	}
+
+	// --- update owned bodies (leapfrog).
+	for k, i := range own {
+		vx := s.vx.Load(p, int(i)) + ax[k]*nbody.DT
+		vy := s.vy.Load(p, int(i)) + ay[k]*nbody.DT
+		s.vx.Store(p, int(i), vx)
+		s.vy.Store(p, int(i), vy)
+		s.x.Store(p, int(i), s.x.Load(p, int(i))+vx*nbody.DT)
+		s.y.Store(p, int(i), s.y.Load(p, int(i))+vy*nbody.DT)
+		p.Advance(sim.Time(updateOps) * opNS)
+	}
+
+	// --- exchange: allgather updated body state; unpack foreign entries.
+	phC := p.SetPhase(sim.PhaseComm)
+	vals := make([]float64, 4*len(own))
+	for k, i := range own {
+		vals[4*k] = s.x.Load(p, int(i))
+		vals[4*k+1] = s.y.Load(p, int(i))
+		vals[4*k+2] = s.vx.Load(p, int(i))
+		vals[4*k+3] = s.vy.Load(p, int(i))
+	}
+	all, offs := mp.Allgatherv(r, vals)
+	for q := 0; q < r.Size(); q++ {
+		if q == me {
+			continue
+		}
+		base := offs[q]
+		for k, i := range pl.OwnedBodies[q] {
+			s.x.Store(p, int(i), all[base+4*k])
+			s.y.Store(p, int(i), all[base+4*k+1])
+			s.vx.Store(p, int(i), all[base+4*k+2])
+			s.vy.Store(p, int(i), all[base+4*k+3])
+		}
+	}
+	p.SetPhase(phC)
+
+	sum := 0.0
+	for _, i := range own {
+		sum += s.x.Load(p, int(i)) + 2*s.y.Load(p, int(i))
+	}
+	return mp.Allreduce1(r, sum, mp.OpSum)
+}

@@ -1,0 +1,108 @@
+// Package barnes is the study's second adaptive application: a Barnes-Hut
+// N-body simulation implemented under MP, SHMEM, and CC-SAS. Its phase
+// structure per time step —
+//
+//	tree      — build the quadtree and centres of mass
+//	partition — cost-zones repartition from last step's interaction counts
+//	force     — tree-walk force evaluation for owned bodies (dominant)
+//	update    — leapfrog integration of owned bodies
+//	exchange  — make updated body state visible to all processors
+//
+// — stresses a different adaptivity axis than the mesh code: the *work per
+// element* (interactions per body) is what shifts between processors, and
+// the all-to-all visibility of body positions is what each model must
+// provide (allgather for MP, one-sided collect for SHMEM, plain coherent
+// loads for CC-SAS).
+//
+// All three implementations compute bit-identical trajectories at equal
+// processor counts; tests enforce this.
+package barnes
+
+import (
+	"o2k/internal/nbody"
+)
+
+// Workload parameterizes one experiment instance.
+type Workload struct {
+	N     int     // bodies
+	Steps int     // leapfrog steps
+	Theta float64 // Barnes-Hut opening angle
+	Seed  int64
+}
+
+// Default returns the standard scaling workload.
+func Default() Workload {
+	return Workload{N: 6144, Steps: 5, Theta: nbody.ThetaBH, Seed: 1}
+}
+
+// Small returns a reduced workload for unit tests.
+func Small() Workload {
+	return Workload{N: 640, Steps: 3, Theta: nbody.ThetaBH, Seed: 1}
+}
+
+// StepPlan is the structural oracle for one time step, derived from the
+// deterministic reference simulation that every model reproduces exactly.
+type StepPlan struct {
+	Step        int
+	Tree        *nbody.Tree // structure + reference centre-of-mass values
+	Owner       []int32     // per body, this step's cost-zones owner
+	OwnedBodies [][]int32   // per proc, ascending body indices
+	Inter       []int       // per body, interactions evaluated this step
+	TotalInter  int
+	MaxProcWork int // largest per-proc interaction total (imbalance measure)
+}
+
+// BuildPlans runs the reference simulation and captures per-step plans for
+// nprocs processors.
+func BuildPlans(w Workload, nprocs int) []*StepPlan {
+	b := nbody.NewPlummer(w.N, w.Seed)
+	cost := make([]float64, w.N)
+	for i := range cost {
+		cost[i] = 1
+	}
+	ax := make([]float64, w.N)
+	ay := make([]float64, w.N)
+	inter := make([]int, w.N)
+	plans := make([]*StepPlan, 0, w.Steps)
+	for s := 0; s < w.Steps; s++ {
+		t := nbody.Build(b)
+		owner := nbody.CostZones(b, cost, nprocs)
+		pl := &StepPlan{
+			Step:        s,
+			Tree:        t,
+			Owner:       owner,
+			OwnedBodies: make([][]int32, nprocs),
+			Inter:       make([]int, w.N),
+		}
+		for i := 0; i < w.N; i++ {
+			pl.OwnedBodies[owner[i]] = append(pl.OwnedBodies[owner[i]], int32(i))
+		}
+		nbody.Step(b, t, w.Theta, ax, ay, inter)
+		work := make([]int, nprocs)
+		for i := 0; i < w.N; i++ {
+			pl.Inter[i] = inter[i]
+			pl.TotalInter += inter[i]
+			work[owner[i]] += inter[i]
+			cost[i] = float64(inter[i])
+		}
+		for _, wk := range work {
+			if wk > pl.MaxProcWork {
+				pl.MaxProcWork = wk
+			}
+		}
+		plans = append(plans, pl)
+	}
+	return plans
+}
+
+// ReferenceChecksum returns the digest of the final reference body state.
+func ReferenceChecksum(w Workload) float64 {
+	b := nbody.NewPlummer(w.N, w.Seed)
+	ax := make([]float64, w.N)
+	ay := make([]float64, w.N)
+	inter := make([]int, w.N)
+	for s := 0; s < w.Steps; s++ {
+		nbody.Step(b, nbody.Build(b), w.Theta, ax, ay, inter)
+	}
+	return b.Checksum()
+}

@@ -1,0 +1,134 @@
+package barnes
+
+// Cache-coherent shared-address-space Barnes-Hut: one shared copy of the
+// body arrays (first-touch placed by the step-0 cost zones) and of each
+// step's tree. Tree construction parallelizes trivially (each processor
+// fills its block of cells); force evaluation reads remote bodies and cells
+// through the memory system, paying coherence misses where bodies moved —
+// there is no exchange phase at all, just barriers.
+
+import (
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/nbody"
+	"o2k/internal/numa"
+	"o2k/internal/sas"
+	"o2k/internal/sim"
+)
+
+type sasState struct {
+	x, y, vx, vy, m *numa.Array[float64]
+}
+
+func runSAS(mach *machine.Machine, w Workload, plans []*StepPlan) core.Metrics {
+	nprocs := mach.Procs()
+	g := sim.NewGroup(nprocs)
+	sp := numa.NewSpace(mach)
+	world := sas.NewWorld(mach, sp)
+
+	st := &sasState{
+		x:  sas.NewArray[float64](world, w.N),
+		y:  sas.NewArray[float64](world, w.N),
+		vx: sas.NewArray[float64](world, w.N),
+		vy: sas.NewArray[float64](world, w.N),
+		m:  sas.NewArray[float64](world, w.N),
+	}
+	firstOwner := plans[0].Owner
+	place := func(e int) int { return int(firstOwner[e]) }
+	st.x.PlaceByElem(place)
+	st.y.PlaceByElem(place)
+	st.vx.PlaceByElem(place)
+	st.vy.PlaceByElem(place)
+	st.m.PlaceByElem(place)
+
+	b0 := nbody.NewPlummer(w.N, w.Seed)
+	g.Run(func(p *sim.Proc) {
+		c := world.Ctx(p)
+		for _, i := range plans[0].OwnedBodies[c.ID()] {
+			st.x.Store(p, int(i), b0.X[i])
+			st.y.Store(p, int(i), b0.Y[i])
+			st.vx.Store(p, int(i), b0.VX[i])
+			st.vy.Store(p, int(i), b0.VY[i])
+			st.m.Store(p, int(i), b0.M[i])
+		}
+		c.Barrier()
+	})
+
+	var checksum float64
+	for _, pl := range plans {
+		cells := sas.NewArray[float64](world, 3*pl.Tree.NumCells())
+		cells.PlaceBlock()
+		g.Run(func(p *sim.Proc) {
+			cs := sasStep(world.Ctx(p), mach, w, pl, st, cells)
+			if p.ID() == 0 {
+				checksum = cs
+			}
+		})
+	}
+	return finishMetrics(core.SAS, g, sp, w, plans, mach, checksum)
+}
+
+func sasStep(c *sas.Ctx, mach *machine.Machine, w Workload, pl *StepPlan,
+	s *sasState, cells *numa.Array[float64]) float64 {
+
+	me := c.ID()
+	p := c.P
+	opNS := mach.Cfg.OpNS
+	t := pl.Tree
+
+	// --- tree: parallel build — each processor does 1/P of the insertion
+	// work and fills its block of the shared cell array.
+	chargeOps(p, mach, sim.PhaseTree, treeOps*w.N*treeLevels(w.N)/c.Size())
+	phT := p.SetPhase(sim.PhaseTree)
+	lo, hi := c.Range(t.NumCells())
+	for cc := lo; cc < hi; cc++ {
+		cell := &t.Cells[cc]
+		cells.Store(p, 3*cc, cell.CX)
+		cells.Store(p, 3*cc+1, cell.CY)
+		cells.Store(p, 3*cc+2, cell.CM)
+	}
+	p.SetPhase(phT)
+	c.Barrier()
+
+	// --- partition
+	chargePartitionStep(p, mach, w, c.Size())
+
+	// --- force: read bodies and cells straight out of shared memory.
+	p.SetPhase(sim.PhaseCompute)
+	readBody := func(j int32) (float64, float64, float64) {
+		return s.x.Load(p, int(j)), s.y.Load(p, int(j)), s.m.Load(p, int(j))
+	}
+	readCell := func(cc int32) (float64, float64, float64) {
+		return cells.Load(p, int(3*cc)), cells.Load(p, int(3*cc+1)), cells.Load(p, int(3*cc+2))
+	}
+	own := pl.OwnedBodies[me]
+	ax := make([]float64, len(own))
+	ay := make([]float64, len(own))
+	for k, i := range own {
+		bx, by := s.x.Load(p, int(i)), s.y.Load(p, int(i))
+		var inter int
+		ax[k], ay[k], inter = t.Accel(i, bx, by, w.Theta, readBody, readCell)
+		p.Advance(sim.Time(inter*forceOps) * opNS)
+	}
+	// Everyone must finish reading positions before owners overwrite them.
+	c.Barrier()
+
+	// --- update owned bodies in place; the closing barrier publishes the
+	// new positions (and invalidates stale cached copies elsewhere).
+	for k, i := range own {
+		nvx := s.vx.Load(p, int(i)) + ax[k]*nbody.DT
+		nvy := s.vy.Load(p, int(i)) + ay[k]*nbody.DT
+		s.vx.Store(p, int(i), nvx)
+		s.vy.Store(p, int(i), nvy)
+		s.x.Store(p, int(i), s.x.Load(p, int(i))+nvx*nbody.DT)
+		s.y.Store(p, int(i), s.y.Load(p, int(i))+nvy*nbody.DT)
+		p.Advance(sim.Time(updateOps) * opNS)
+	}
+	c.Barrier()
+
+	sum := 0.0
+	for _, i := range own {
+		sum += s.x.Load(p, int(i)) + 2*s.y.Load(p, int(i))
+	}
+	return sas.Allreduce1(c, sum, sas.OpSum)
+}

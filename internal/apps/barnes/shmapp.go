@@ -1,0 +1,143 @@
+package barnes
+
+// One-sided (SHMEM) Barnes-Hut: the same replicated-data decomposition as
+// MP, but the per-step state exchange is a one-sided collect — no matching
+// receives, far lower per-transfer overhead — and symmetric allocation
+// replaces explicit buffer management.
+
+import (
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/nbody"
+	"o2k/internal/numa"
+	"o2k/internal/shm"
+	"o2k/internal/sim"
+)
+
+type shmState struct {
+	x, y, vx, vy, m *shm.Sym[float64]
+}
+
+func runSHMEM(mach *machine.Machine, w Workload, plans []*StepPlan) core.Metrics {
+	nprocs := mach.Procs()
+	g := sim.NewGroup(nprocs)
+	sp := numa.NewSpace(mach)
+	world := shm.NewWorld(mach, sp)
+	b0 := nbody.NewPlummer(w.N, w.Seed)
+
+	st := &shmState{
+		x:  shm.AllocWorld[float64](world, w.N),
+		y:  shm.AllocWorld[float64](world, w.N),
+		vx: shm.AllocWorld[float64](world, w.N),
+		vy: shm.AllocWorld[float64](world, w.N),
+		m:  shm.AllocWorld[float64](world, w.N),
+	}
+	g.Run(func(p *sim.Proc) {
+		pe := world.PE(p)
+		for i := 0; i < w.N; i++ {
+			st.x.Local(pe).Store(p, i, b0.X[i])
+			st.y.Local(pe).Store(p, i, b0.Y[i])
+			st.vx.Local(pe).Store(p, i, b0.VX[i])
+			st.vy.Local(pe).Store(p, i, b0.VY[i])
+			st.m.Local(pe).Store(p, i, b0.M[i])
+		}
+	})
+
+	var checksum float64
+	for _, pl := range plans {
+		cells := shm.AllocWorld[float64](world, 3*pl.Tree.NumCells())
+		g.Run(func(p *sim.Proc) {
+			cs := shmStep(world.PE(p), mach, w, pl, st, cells)
+			if p.ID() == 0 {
+				checksum = cs
+			}
+		})
+	}
+	return finishMetrics(core.SHMEM, g, sp, w, plans, mach, checksum)
+}
+
+func shmStep(pe *shm.PE, mach *machine.Machine, w Workload, pl *StepPlan,
+	s *shmState, cells *shm.Sym[float64]) float64 {
+
+	me := pe.ID()
+	p := pe.P
+	opNS := mach.Cfg.OpNS
+	t := pl.Tree
+	x, y := s.x.Local(pe), s.y.Local(pe)
+	vx, vy, m := s.vx.Local(pe), s.vy.Local(pe), s.m.Local(pe)
+	cl := cells.Local(pe)
+
+	// --- tree: replicated build into the local symmetric block.
+	chargeOps(p, mach, sim.PhaseTree, treeOps*w.N*treeLevels(w.N))
+	phT := p.SetPhase(sim.PhaseTree)
+	for c := 0; c < t.NumCells(); c++ {
+		cc := &t.Cells[c]
+		cl.Store(p, 3*c, cc.CX)
+		cl.Store(p, 3*c+1, cc.CY)
+		cl.Store(p, 3*c+2, cc.CM)
+	}
+	p.SetPhase(phT)
+
+	// --- partition
+	chargePartitionStep(p, mach, w, pe.Size())
+
+	// --- force
+	p.SetPhase(sim.PhaseCompute)
+	readBody := func(j int32) (float64, float64, float64) {
+		return x.Load(p, int(j)), y.Load(p, int(j)), m.Load(p, int(j))
+	}
+	readCell := func(c int32) (float64, float64, float64) {
+		return cl.Load(p, int(3*c)), cl.Load(p, int(3*c+1)), cl.Load(p, int(3*c+2))
+	}
+	own := pl.OwnedBodies[me]
+	ax := make([]float64, len(own))
+	ay := make([]float64, len(own))
+	for k, i := range own {
+		bx, by := x.Load(p, int(i)), y.Load(p, int(i))
+		var inter int
+		ax[k], ay[k], inter = t.Accel(i, bx, by, w.Theta, readBody, readCell)
+		p.Advance(sim.Time(inter*forceOps) * opNS)
+	}
+
+	// --- update owned bodies.
+	for k, i := range own {
+		nvx := vx.Load(p, int(i)) + ax[k]*nbody.DT
+		nvy := vy.Load(p, int(i)) + ay[k]*nbody.DT
+		vx.Store(p, int(i), nvx)
+		vy.Store(p, int(i), nvy)
+		x.Store(p, int(i), x.Load(p, int(i))+nvx*nbody.DT)
+		y.Store(p, int(i), y.Load(p, int(i))+nvy*nbody.DT)
+		p.Advance(sim.Time(updateOps) * opNS)
+	}
+
+	// --- exchange: one-sided collect of the updated state; unpack foreign.
+	phC := p.SetPhase(sim.PhaseComm)
+	vals := make([]float64, 4*len(own))
+	for k, i := range own {
+		vals[4*k] = x.Load(p, int(i))
+		vals[4*k+1] = y.Load(p, int(i))
+		vals[4*k+2] = vx.Load(p, int(i))
+		vals[4*k+3] = vy.Load(p, int(i))
+	}
+	all, offs := shm.Collect(pe, vals)
+	for q := 0; q < pe.Size(); q++ {
+		if q == me {
+			continue
+		}
+		base := offs[q]
+		for k, i := range pl.OwnedBodies[q] {
+			x.Store(p, int(i), all[base+4*k])
+			y.Store(p, int(i), all[base+4*k+1])
+			vx.Store(p, int(i), all[base+4*k+2])
+			vy.Store(p, int(i), all[base+4*k+3])
+		}
+	}
+	p.SetPhase(phC)
+	pe.Barrier()
+
+	sum := 0.0
+	for _, i := range own {
+		sum += x.Load(p, int(i)) + 2*y.Load(p, int(i))
+	}
+	return shm.Allreduce1(pe, sum, shm.OpSum)
+}

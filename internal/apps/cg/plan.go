@@ -1,0 +1,188 @@
+// Package cg is the fourth application of the comparison: a conjugate-
+// gradient solve of a shifted graph-Laplacian system over the (refined,
+// irregular, but statically partitioned) unstructured mesh. Its
+// communication signature completes the application mix:
+//
+//	stencil   — regular, bandwidth-bound halo exchange
+//	adaptmesh — irregular AND dynamic (remapping, structure distribution)
+//	barnes    — dynamic work distribution, all-to-all state visibility
+//	cg        — irregular matvec plus two *latency-bound global reductions
+//	            per iteration*: at scale, CG lives or dies on allreduce cost
+//
+// Each iteration performs one edge-based matvec (gather/scatter over the
+// mesh, like the relaxation solver), two dot products (rank-ordered
+// reductions, so results are bit-identical across models at equal P), and
+// three vector updates. The matrix is A = sigma·I + L (L the graph
+// Laplacian): symmetric positive definite, so CG genuinely converges — the
+// tests check the residual drop against the sequential reference.
+package cg
+
+import (
+	"o2k/internal/mesh"
+	"o2k/internal/partition"
+	"o2k/internal/solver"
+)
+
+// Workload parameterizes the CG experiment.
+type Workload struct {
+	GridN    int     // base mesh dimension
+	MaxLevel int     // refinement depth (one adapt pass makes it irregular)
+	Iters    int     // CG iterations (fixed count: deterministic)
+	Sigma    float64 // diagonal shift of A = sigma·I + Laplacian
+}
+
+// Default returns the standard scaling workload.
+func Default() Workload {
+	return Workload{GridN: 24, MaxLevel: 3, Iters: 25, Sigma: 1.0}
+}
+
+// Small returns a reduced workload for unit tests.
+func Small() Workload {
+	return Workload{GridN: 8, MaxLevel: 2, Iters: 10, Sigma: 1.0}
+}
+
+// Plan is the static structure of a CG run: one refined snapshot, its
+// decomposition, and the accumulator clear lists — the same deterministic
+// discipline as the adaptive-mesh application, without the per-cycle churn.
+type Plan struct {
+	M     *mesh.Mesh
+	Dec   *partition.Decomp
+	Deg   []int32
+	NV    int
+	Clear [][]int32 // per proc: owned + touched vertices, ascending
+	B     []float64 // right-hand side by global vertex ID (zero if unused)
+}
+
+// BuildPlan constructs the mesh, partitions it, and precomputes the
+// communication lists for nprocs processors.
+func BuildPlan(w Workload, nprocs int) *Plan {
+	f := mesh.NewUnitSquare(w.GridN, w.MaxLevel)
+	f.Adapt(mesh.DefaultFront(w.MaxLevel).At(0))
+	m := f.Snapshot()
+	nt := m.NumTris()
+	xs := make([]float64, nt)
+	ys := make([]float64, nt)
+	wt := make([]float64, nt)
+	for t := 0; t < nt; t++ {
+		xs[t], ys[t] = m.Centroid(t)
+		wt[t] = 1
+	}
+	dec := partition.NewDecomp(m, partition.RCB(xs, ys, wt, nprocs), nprocs)
+
+	p := &Plan{
+		M:   m,
+		Dec: dec,
+		Deg: solver.Degrees(m),
+		NV:  m.NumVertsTotal(),
+	}
+	// Clear lists (owned + edge-touched), as in adaptmesh.
+	mark := make([]int32, p.NV)
+	for i := range mark {
+		mark[i] = -1
+	}
+	p.Clear = make([][]int32, nprocs)
+	for q := 0; q < nprocs; q++ {
+		for _, e := range dec.OwnedEdges[q] {
+			for _, v := range m.Edges[e] {
+				if mark[v] != int32(q) {
+					mark[v] = int32(q)
+					p.Clear[q] = append(p.Clear[q], v)
+				}
+			}
+		}
+		for _, v := range dec.OwnedVerts[q] {
+			if mark[v] != int32(q) {
+				mark[v] = int32(q)
+				p.Clear[q] = append(p.Clear[q], v)
+			}
+		}
+		sortAsc(p.Clear[q])
+	}
+	// Right-hand side: the moving-front bump (anything nonzero and smooth).
+	front := mesh.DefaultFront(w.MaxLevel)
+	p.B = make([]float64, p.NV)
+	for v := 0; v < p.NV; v++ {
+		if m.VertUsed(int32(v)) {
+			p.B[v] = front.InitialField(m.VX[v], m.VY[v])
+		}
+	}
+	return p
+}
+
+func sortAsc(s []int32) {
+	for i := 1; i < len(s); i++ {
+		x := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > x {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = x
+	}
+}
+
+// Diag returns the diagonal entry of A at vertex v.
+func (p *Plan) Diag(w Workload, v int32) float64 {
+	return w.Sigma + float64(p.Deg[v])
+}
+
+// ReferenceSolve runs the sequential CG and returns the solution digest and
+// the final squared residual norm.
+func ReferenceSolve(w Workload, p *Plan) (checksum, rho float64) {
+	nv := p.NV
+	x := make([]float64, nv)
+	r := make([]float64, nv)
+	pv := make([]float64, nv)
+	q := make([]float64, nv)
+	copy(r, p.B)
+	copy(pv, p.B)
+	rho = dotRef(p, r, r)
+	for it := 0; it < w.Iters; it++ {
+		// q = A p.
+		for i := range q {
+			q[i] = 0
+		}
+		for _, e := range p.M.Edges {
+			a, b := e[0], e[1]
+			q[a] -= pv[b]
+			q[b] -= pv[a]
+		}
+		for v := 0; v < nv; v++ {
+			if p.M.VertUsed(int32(v)) {
+				q[v] += p.Diag(w, int32(v)) * pv[v]
+			}
+		}
+		alpha := rho / dotRef(p, pv, q)
+		for v := 0; v < nv; v++ {
+			if p.M.VertUsed(int32(v)) {
+				x[v] += alpha * pv[v]
+				r[v] -= alpha * q[v]
+			}
+		}
+		rho2 := dotRef(p, r, r)
+		beta := rho2 / rho
+		rho = rho2
+		for v := 0; v < nv; v++ {
+			if p.M.VertUsed(int32(v)) {
+				pv[v] = r[v] + beta*pv[v]
+			}
+		}
+	}
+	s := 0.0
+	for v := 0; v < nv; v++ {
+		if p.M.VertUsed(int32(v)) {
+			s += x[v]
+		}
+	}
+	return s, rho
+}
+
+func dotRef(p *Plan, a, b []float64) float64 {
+	s := 0.0
+	for v := 0; v < p.NV; v++ {
+		if p.M.VertUsed(int32(v)) {
+			s += a[v] * b[v]
+		}
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+package cg
+
+import (
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/sim"
+)
+
+// Operation counts for the virtual cost model.
+const (
+	matvecOps = 4 // per edge: two gathers, two accumulations
+	diagOps   = 3 // per owned vertex: diagonal term
+	axpyOps   = 4 // per owned vertex per vector update
+	dotOps    = 2 // per owned vertex per dot product
+)
+
+// Run executes the CG workload under the given model.
+func Run(model core.Model, mach *machine.Machine, w Workload) core.Metrics {
+	return RunWithPlan(model, mach, w, BuildPlan(w, mach.Procs()))
+}
+
+// RunWithPlan is Run with a precomputed plan (shareable across models).
+func RunWithPlan(model core.Model, mach *machine.Machine, w Workload, p *Plan) core.Metrics {
+	switch model {
+	case core.MP:
+		return runMP(mach, w, p)
+	case core.SHMEM:
+		return runSHMEM(mach, w, p)
+	case core.SAS:
+		return runSAS(mach, w, p)
+	}
+	panic("cg: unknown model")
+}
+
+func chargeOps(pc *sim.Proc, mach *machine.Machine, n int) {
+	pc.Advance(sim.Time(n) * mach.Cfg.OpNS)
+}
+
+func finish(model core.Model, g *sim.Group, p *Plan, checksum, rho float64) core.Metrics {
+	met := core.Metrics{
+		Model:    model,
+		Procs:    g.Size(),
+		Total:    g.MaxTime(),
+		PhaseMax: g.MaxPhaseTime(),
+		PhaseAvg: g.AvgPhaseTime(),
+		Counters: g.TotalCounters(),
+		Checksum: checksum,
+		Extra:    map[string]float64{"residual": rho},
+	}
+	mpB, shB, saB := p.Dec.DataMemory(5) // x, r, p, q, staging
+	switch model {
+	case core.MP:
+		met.DataBytes = mpB
+	case core.SHMEM:
+		met.DataBytes = shB
+	case core.SAS:
+		met.DataBytes = saB
+	}
+	return met
+}

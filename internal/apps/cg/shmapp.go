@@ -1,0 +1,152 @@
+package cg
+
+// One-sided CG: ghost refresh by indexed puts straight into neighbours'
+// direction vectors, partial sums through a symmetric staging buffer, and
+// barrier completion. Reductions use the SHMEM collective tree.
+
+import (
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/numa"
+	"o2k/internal/shm"
+	"o2k/internal/sim"
+)
+
+func runSHMEM(mach *machine.Machine, w Workload, pl *Plan) core.Metrics {
+	nprocs := mach.Procs()
+	g := sim.NewGroup(nprocs)
+	world := shm.NewWorld(mach, numa.NewSpace(mach))
+	x := shm.AllocWorld[float64](world, pl.NV)
+	rv := shm.AllocWorld[float64](world, pl.NV)
+	pv := shm.AllocWorld[float64](world, pl.NV)
+	q := shm.AllocWorld[float64](world, pl.NV)
+	// Contribution staging: region per (writer, owner) pair.
+	offIn := make([][]int, nprocs)
+	inLen := 0
+	for t := 0; t < nprocs; t++ {
+		offIn[t] = make([]int, nprocs)
+		off := 0
+		for s := 0; s < nprocs; s++ {
+			offIn[t][s] = off
+			off += len(pl.Dec.Border[s][t])
+		}
+		if off > inLen {
+			inLen = off
+		}
+	}
+	if inLen == 0 {
+		inLen = 1
+	}
+	contrib := shm.AllocWorld[float64](world, inLen)
+
+	var checksum, rho float64
+	g.Run(func(pc *sim.Proc) {
+		cs, rh := shmCG(world.PE(pc), mach, w, pl, offIn, x, rv, pv, q, contrib)
+		if pc.ID() == 0 {
+			checksum, rho = cs, rh
+		}
+	})
+	return finish(core.SHMEM, g, pl, checksum, rho)
+}
+
+func shmCG(pe *shm.PE, mach *machine.Machine, w Workload, pl *Plan, offIn [][]int,
+	xS, rS, pS, qS, contrib *shm.Sym[float64]) (float64, float64) {
+
+	me := pe.ID()
+	pc := pe.P
+	dec := pl.Dec
+	x, rv, pv, q := xS.Local(pe), rS.Local(pe), pS.Local(pe), qS.Local(pe)
+	contribL := contrib.Local(pe)
+
+	pc.SetPhase(sim.PhaseCompute)
+	part := 0.0
+	for _, vid := range dec.OwnedVerts[me] {
+		b := pl.B[vid]
+		rv.Store(pc, int(vid), b)
+		pv.Store(pc, int(vid), b)
+		x.Store(pc, int(vid), 0)
+		part += b * b
+		chargeOps(pc, mach, dotOps)
+	}
+	rho := shm.Allreduce1(pe, part, shm.OpSum)
+
+	for it := 0; it < w.Iters; it++ {
+		// Push my owned direction values into the neighbours' copies.
+		phc := pc.SetPhase(sim.PhaseComm)
+		for dst := 0; dst < pe.Size(); dst++ {
+			lst := dec.Border[dst][me]
+			if len(lst) == 0 {
+				continue
+			}
+			vals := make([]float64, len(lst))
+			for i, vid := range lst {
+				vals[i] = pv.Load(pc, int(vid))
+			}
+			shm.PutIdx(pe, pS, dst, lst, vals)
+		}
+		pc.SetPhase(phc)
+		pe.Barrier()
+
+		// Matvec.
+		for _, vid := range pl.Clear[me] {
+			q.Store(pc, int(vid), 0)
+		}
+		for _, e := range dec.OwnedEdges[me] {
+			a, b := pl.M.Edges[e][0], pl.M.Edges[e][1]
+			q.Store(pc, int(a), q.Load(pc, int(a))-pv.Load(pc, int(b)))
+			q.Store(pc, int(b), q.Load(pc, int(b))-pv.Load(pc, int(a)))
+			chargeOps(pc, mach, matvecOps)
+		}
+		phc = pc.SetPhase(sim.PhaseComm)
+		for dst := 0; dst < pe.Size(); dst++ {
+			lst := dec.Border[me][dst]
+			if len(lst) == 0 {
+				continue
+			}
+			vals := make([]float64, len(lst))
+			for i, vid := range lst {
+				vals[i] = q.Load(pc, int(vid))
+			}
+			shm.Put(pe, contrib, dst, offIn[dst][me], vals)
+		}
+		pc.SetPhase(phc)
+		pe.Barrier()
+		for src := 0; src < pe.Size(); src++ {
+			lst := dec.Border[src][me]
+			off := offIn[me][src]
+			for i, vid := range lst {
+				q.Store(pc, int(vid), q.Load(pc, int(vid))+contribL.Load(pc, off+i))
+			}
+		}
+		pq := 0.0
+		for _, vid := range dec.OwnedVerts[me] {
+			qa := q.Load(pc, int(vid)) + pl.Diag(w, vid)*pv.Load(pc, int(vid))
+			q.Store(pc, int(vid), qa)
+			pq += pv.Load(pc, int(vid)) * qa
+			chargeOps(pc, mach, diagOps+dotOps)
+		}
+		alpha := rho / shm.Allreduce1(pe, pq, shm.OpSum)
+
+		rr := 0.0
+		for _, vid := range dec.OwnedVerts[me] {
+			x.Store(pc, int(vid), x.Load(pc, int(vid))+alpha*pv.Load(pc, int(vid)))
+			nr := rv.Load(pc, int(vid)) - alpha*q.Load(pc, int(vid))
+			rv.Store(pc, int(vid), nr)
+			rr += nr * nr
+			chargeOps(pc, mach, 2*axpyOps+dotOps)
+		}
+		rho2 := shm.Allreduce1(pe, rr, shm.OpSum)
+		beta := rho2 / rho
+		rho = rho2
+		for _, vid := range dec.OwnedVerts[me] {
+			pv.Store(pc, int(vid), rv.Load(pc, int(vid))+beta*pv.Load(pc, int(vid)))
+			chargeOps(pc, mach, axpyOps)
+		}
+	}
+
+	s := 0.0
+	for _, vid := range dec.OwnedVerts[me] {
+		s += x.Load(pc, int(vid))
+	}
+	return shm.Allreduce1(pe, s, shm.OpSum), rho
+}

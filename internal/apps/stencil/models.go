@@ -1,0 +1,42 @@
+package stencil
+
+// Shared helpers of the three programming-model implementations: seeding,
+// the Jacobi sweep, and the checksum fold. The decomposition is identical
+// (static row blocks); only the halo-row movement differs per model.
+
+import (
+	"o2k/internal/machine"
+	"o2k/internal/numa"
+	"o2k/internal/sim"
+)
+
+func seed(p *sim.Proc, w Workload, u, v *numa.Array[float64], r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		for j := 0; j <= w.N+1; j++ {
+			u.Store(p, idx(w, i, j), initGrid(w, i, j))
+			v.Store(p, idx(w, i, j), initGrid(w, i, j))
+		}
+	}
+}
+
+func sweep(p *sim.Proc, mach *machine.Machine, w Workload, src, dst *numa.Array[float64], lo, hi int) {
+	opNS := mach.Cfg.OpNS
+	for i := lo; i < hi; i++ {
+		for j := 1; j <= w.N; j++ {
+			val := 0.25 * (src.Load(p, idx(w, i-1, j)) + src.Load(p, idx(w, i+1, j)) +
+				src.Load(p, idx(w, i, j-1)) + src.Load(p, idx(w, i, j+1)))
+			dst.Store(p, idx(w, i, j), val)
+		}
+		p.Advance(sim.Time(cellOps*w.N) * opNS)
+	}
+}
+
+func ownSum(p *sim.Proc, w Workload, u *numa.Array[float64], lo, hi int) float64 {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		for j := 1; j <= w.N; j++ {
+			s += u.Load(p, idx(w, i, j))
+		}
+	}
+	return s
+}

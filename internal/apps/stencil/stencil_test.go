@@ -1,0 +1,123 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/sim"
+)
+
+func mach(p int) *machine.Machine { return machine.MustNew(machine.Default(p)) }
+
+func TestReferenceConverges(t *testing.T) {
+	w := Small()
+	cs := ReferenceChecksum(w)
+	if cs <= 0 {
+		t.Fatalf("checksum %v (heat should have diffused in)", cs)
+	}
+	w2 := w
+	w2.Iters *= 2
+	if ReferenceChecksum(w2) <= cs {
+		t.Fatal("more sweeps should diffuse more heat inward")
+	}
+}
+
+func TestCrossModelChecksumsIdentical(t *testing.T) {
+	w := Small()
+	for _, procs := range []int{1, 2, 5, 8} {
+		m := mach(procs)
+		var sums [3]float64
+		for i, model := range core.AllModels() {
+			sums[i] = Run(model, m, w).Checksum
+		}
+		if sums[0] != sums[1] || sums[1] != sums[2] {
+			t.Fatalf("P=%d: %v %v %v", procs, sums[0], sums[1], sums[2])
+		}
+	}
+}
+
+func TestP1MatchesReferenceExactly(t *testing.T) {
+	w := Small()
+	ref := ReferenceChecksum(w)
+	for _, model := range core.AllModels() {
+		if got := Run(model, mach(1), w).Checksum; got != ref {
+			t.Fatalf("%v: %v != %v", model, got, ref)
+		}
+	}
+}
+
+func TestParallelMatchesReferenceExactly(t *testing.T) {
+	// Jacobi updates are per-cell independent, so even P>1 must be exact up
+	// to the final reduction order; compare with a tight tolerance.
+	w := Small()
+	ref := ReferenceChecksum(w)
+	got := Run(core.SAS, mach(4), w).Checksum
+	if rel := math.Abs(got-ref) / math.Abs(ref); rel > 1e-12 {
+		t.Fatalf("drift %v", rel)
+	}
+}
+
+func TestDeterministicTiming(t *testing.T) {
+	w := Small()
+	for _, model := range core.AllModels() {
+		a := Run(model, mach(4), w).Total
+		b := Run(model, mach(4), w).Total
+		if a != b {
+			t.Fatalf("%v nondeterministic", model)
+		}
+	}
+}
+
+func TestRegularWorkloadNarrowsGap(t *testing.T) {
+	// The control result: on the regular stencil, MP's disadvantage vs
+	// CC-SAS must be much smaller than on the adaptive applications.
+	w := Default()
+	m := mach(16)
+	tMP := Run(core.MP, m, w).Total
+	tSAS := Run(core.SAS, m, w).Total
+	ratio := float64(tMP) / float64(tSAS)
+	if ratio > 1.6 {
+		t.Fatalf("MP/SAS ratio %v on regular stencil — should be close", ratio)
+	}
+	if ratio < 0.5 {
+		t.Fatalf("suspicious ratio %v", ratio)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	w := Default()
+	for _, model := range core.AllModels() {
+		t1 := Run(model, mach(1), w).Total
+		t16 := Run(model, mach(16), w).Total
+		if sp := float64(t1) / float64(t16); sp < 6 {
+			t.Errorf("%v: regular stencil speedup only %.2f at P=16", model, sp)
+		}
+	}
+}
+
+func TestMoreProcsThanRows(t *testing.T) {
+	w := Workload{N: 4, Iters: 3}
+	ref := ReferenceChecksum(w)
+	for _, model := range core.AllModels() {
+		got := Run(model, mach(8), w).Checksum // some procs own zero rows
+		if math.Abs(got-ref) > 1e-12*math.Abs(ref) {
+			t.Fatalf("%v with idle procs: %v != %v", model, got, ref)
+		}
+	}
+}
+
+func TestPhaseAttribution(t *testing.T) {
+	w := Small()
+	met := Run(core.MP, mach(4), w)
+	if met.PhaseMax[sim.PhaseCompute] == 0 {
+		t.Error("no compute time")
+	}
+	if met.PhaseMax[sim.PhaseComm] == 0 {
+		t.Error("no comm time for MP halo exchange")
+	}
+	if met.DataBytes <= 0 {
+		t.Error("no memory accounting")
+	}
+}

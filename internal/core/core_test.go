@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"o2k/internal/sim"
+)
+
+func TestModelNames(t *testing.T) {
+	if MP.String() != "MP" || SHMEM.String() != "SHMEM" || SAS.String() != "CC-SAS" {
+		t.Fatal("model names wrong")
+	}
+	if Model(9).String() != "Model(9)" {
+		t.Fatal("unknown model name wrong")
+	}
+	if len(AllModels()) != int(NumModels) {
+		t.Fatal("AllModels incomplete")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := Metrics{Total: 100}
+	m := Metrics{Total: 25}
+	if got := m.Speedup(base); got != 4 {
+		t.Fatalf("speedup = %v", got)
+	}
+	var zero Metrics
+	if zero.Speedup(base) != 0 {
+		t.Fatal("zero-total speedup should be 0")
+	}
+}
+
+func TestPhaseFraction(t *testing.T) {
+	var m Metrics
+	m.PhaseMax[sim.PhaseCompute] = 75
+	m.PhaseMax[sim.PhaseComm] = 25
+	if f := m.PhaseFraction(sim.PhaseCompute); f != 0.75 {
+		t.Fatalf("fraction = %v", f)
+	}
+	var empty Metrics
+	if empty.PhaseFraction(sim.PhaseComm) != 0 {
+		t.Fatal("empty fraction should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-much-longer-name", "23456")
+	out := tb.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	// Columns aligned: both rows' second column starts at the same offset.
+	if strings.Index(lines[3], "1") < len("a-much-longer-name") {
+		t.Error("column alignment broken")
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	var m Metrics
+	m.Model = SAS
+	m.Procs = 8
+	m.Total = 2 * sim.Millisecond
+	m.PhaseMax[sim.PhaseCompute] = sim.Millisecond
+	m.PhaseMax[sim.PhaseSync] = 2 * sim.Millisecond
+	s := m.String()
+	for _, want := range []string{"CC-SAS", "P=8", "sync"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F = %q", F(1.23456))
+	}
+	if FT(1500*sim.Nanosecond) != "1.500us" {
+		t.Fatalf("FT = %q", FT(1500))
+	}
+}

@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+
+	"o2k/internal/core"
+	"o2k/internal/sim"
+)
+
+// Tables are the output format of every experiment: aligned plain text that
+// drops straight into EXPERIMENTS.md.
+func ExampleTable() {
+	t := &core.Table{
+		Title:  "Demo",
+		Header: []string{"model", "time"},
+	}
+	t.AddRow(core.MP.String(), core.FT(1500*sim.Microsecond))
+	t.AddRow(core.SAS.String(), core.FT(500*sim.Microsecond))
+	fmt.Print(t.String())
+	// Output:
+	// ## Demo
+	// model   time
+	// ------  ---------
+	// MP      1.500ms
+	// CC-SAS  500.000us
+}
+
+// Speedup is measured against the same model's single-processor run.
+func ExampleMetrics_Speedup() {
+	base := core.Metrics{Total: 80 * sim.Millisecond}
+	m := core.Metrics{Total: 10 * sim.Millisecond}
+	fmt.Printf("%.1fx\n", m.Speedup(base))
+	// Output: 8.0x
+}

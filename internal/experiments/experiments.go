@@ -1,0 +1,417 @@
+// Package experiments regenerates every (reconstructed) table and figure of
+// the evaluation — see DESIGN.md §5 for the experiment index and
+// EXPERIMENTS.md for recorded results. Each function returns a core.Table
+// whose rows are the series the corresponding figure plots or the rows the
+// corresponding table lists. Both cmd/o2kbench and the root benchmark
+// harness drive these.
+package experiments
+
+import (
+	"fmt"
+
+	"o2k/internal/apps/adaptmesh"
+	"o2k/internal/apps/barnes"
+	"o2k/internal/apps/cg"
+	"o2k/internal/apps/stencil"
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/sim"
+)
+
+// Opts selects the experiment scale.
+type Opts struct {
+	Procs    []int              // processor counts for the scaling figures
+	MeshW    adaptmesh.Workload // adaptive-mesh workload
+	NBodyW   barnes.Workload    // N-body workload
+	StencilW stencil.Workload   // regular-control workload
+	CGW      cg.Workload        // conjugate-gradient workload
+}
+
+// DefaultOpts returns the full-scale configuration: the Origin2000 study's
+// 1..64 processor range.
+func DefaultOpts() Opts {
+	return Opts{
+		Procs:    []int{1, 2, 4, 8, 16, 32, 64},
+		MeshW:    adaptmesh.Default(),
+		NBodyW:   barnes.Default(),
+		StencilW: stencil.Default(),
+		CGW:      cg.Default(),
+	}
+}
+
+// QuickOpts returns a reduced configuration for tests.
+func QuickOpts() Opts {
+	return Opts{
+		Procs:    []int{1, 4, 16},
+		MeshW:    adaptmesh.Small(),
+		NBodyW:   barnes.Small(),
+		StencilW: stencil.Small(),
+		CGW:      cg.Small(),
+	}
+}
+
+func mach(p int) *machine.Machine { return machine.MustNew(machine.Default(p)) }
+
+// runMesh executes the mesh application for every model at procs, sharing
+// one plan set.
+func runMesh(w adaptmesh.Workload, procs int) [3]core.Metrics {
+	plans := adaptmesh.BuildPlans(w, procs)
+	var out [3]core.Metrics
+	for i, model := range core.AllModels() {
+		out[i] = adaptmesh.RunWithPlans(model, mach(procs), w, plans)
+	}
+	return out
+}
+
+func runNBody(w barnes.Workload, procs int) [3]core.Metrics {
+	plans := barnes.BuildPlans(w, procs)
+	var out [3]core.Metrics
+	for i, model := range core.AllModels() {
+		out[i] = barnes.RunWithPlans(model, mach(procs), w, plans)
+	}
+	return out
+}
+
+// Table1 reports the application and workload characteristics (the paper's
+// application-description table).
+func Table1(o Opts) *core.Table {
+	t := &core.Table{
+		Title:  "Table 1 — Application and workload characteristics (reconstructed)",
+		Header: []string{"application", "elements", "edges/interactions", "adapt cycles/steps", "sweeps per cycle", "max imbalance pre-LB"},
+	}
+	meshPlans := adaptmesh.BuildPlans(o.MeshW, 1)
+	last := meshPlans[len(meshPlans)-1]
+	avgT, avgE := 0, 0
+	for _, pl := range meshPlans {
+		avgT += pl.M.NumTris()
+		avgE += pl.M.NumEdges()
+	}
+	t.AddRow("adaptive mesh",
+		fmt.Sprintf("%d tris (final %d)", avgT/len(meshPlans), last.M.NumTris()),
+		fmt.Sprintf("%d edges", avgE/len(meshPlans)),
+		fmt.Sprintf("%d cycles", o.MeshW.Cycles),
+		fmt.Sprintf("%d", o.MeshW.SolveIters),
+		core.F(last.Imbalance))
+	nbPlans := barnes.BuildPlans(o.NBodyW, 1)
+	inter := 0
+	cells := 0
+	for _, pl := range nbPlans {
+		inter += pl.TotalInter
+		cells += pl.Tree.NumCells()
+	}
+	t.AddRow("barnes-hut n-body",
+		fmt.Sprintf("%d bodies", o.NBodyW.N),
+		fmt.Sprintf("%d interactions/step", inter/len(nbPlans)),
+		fmt.Sprintf("%d steps", o.NBodyW.Steps),
+		"1",
+		fmt.Sprintf("theta=%.2f, %d cells", o.NBodyW.Theta, cells/len(nbPlans)))
+	t.AddRow("jacobi stencil (control)",
+		fmt.Sprintf("%dx%d grid", o.StencilW.N, o.StencilW.N),
+		fmt.Sprintf("%d cells/sweep", o.StencilW.N*o.StencilW.N),
+		"static",
+		fmt.Sprintf("%d", o.StencilW.Iters),
+		"1.000")
+	cgPl := cg.BuildPlan(o.CGW, 1)
+	t.AddRow("conjugate gradient",
+		fmt.Sprintf("%d tris", cgPl.M.NumTris()),
+		fmt.Sprintf("%d edges (matrix rows %d)", cgPl.M.NumEdges(), cgPl.M.NumVertsUsed()),
+		"static refined",
+		fmt.Sprintf("%d CG iters", o.CGW.Iters),
+		"2 allreduce/iter")
+	return t
+}
+
+// Fig2 is the adaptive-mesh scaling figure: execution time and speedup vs
+// processor count for each model.
+func Fig2(o Opts) *core.Table {
+	return scalingTable("Figure 2 — Adaptive mesh: time and speedup vs processors",
+		o.Procs, func(p int) [3]core.Metrics { return runMesh(o.MeshW, p) })
+}
+
+// Fig3 is the N-body scaling figure.
+func Fig3(o Opts) *core.Table {
+	return scalingTable("Figure 3 — Barnes-Hut N-body: time and speedup vs processors",
+		o.Procs, func(p int) [3]core.Metrics { return runNBody(o.NBodyW, p) })
+}
+
+func scalingTable(title string, procs []int, run func(p int) [3]core.Metrics) *core.Table {
+	t := &core.Table{
+		Title: title,
+		Header: []string{"P", "MP time", "SHMEM time", "CC-SAS time",
+			"MP spdup", "SHMEM spdup", "CC-SAS spdup"},
+	}
+	var base [3]core.Metrics
+	for i, p := range procs {
+		m := run(p)
+		if i == 0 {
+			base = m
+		}
+		t.AddRow(fmt.Sprintf("%d", p),
+			core.FT(m[0].Total), core.FT(m[1].Total), core.FT(m[2].Total),
+			core.F(m[0].Speedup(base[0])), core.F(m[1].Speedup(base[1])), core.F(m[2].Speedup(base[2])))
+	}
+	return t
+}
+
+// Fig4 is the phase-breakdown figure at the largest processor count: the
+// per-phase critical-path time of each model on the mesh application.
+func Fig4(o Opts) *core.Table {
+	p := o.Procs[len(o.Procs)-1]
+	m := runMesh(o.MeshW, p)
+	t := &core.Table{
+		Title:  fmt.Sprintf("Figure 4 — Adaptive mesh phase breakdown at P=%d", p),
+		Header: []string{"phase", "MP", "SHMEM", "CC-SAS"},
+	}
+	for ph := sim.Phase(0); ph < sim.NumPhases; ph++ {
+		if m[0].PhaseMax[ph] == 0 && m[1].PhaseMax[ph] == 0 && m[2].PhaseMax[ph] == 0 {
+			continue
+		}
+		t.AddRow(ph.String(),
+			core.FT(m[0].PhaseMax[ph]), core.FT(m[1].PhaseMax[ph]), core.FT(m[2].PhaseMax[ph]))
+	}
+	t.AddRow("TOTAL", core.FT(m[0].Total), core.FT(m[1].Total), core.FT(m[2].Total))
+	return t
+}
+
+// Table6 is the memory-footprint table: model-visible field memory for both
+// applications at the largest processor count.
+func Table6(o Opts) *core.Table {
+	p := o.Procs[len(o.Procs)-1]
+	mm := runMesh(o.MeshW, p)
+	nb := runNBody(o.NBodyW, p)
+	t := &core.Table{
+		Title:  fmt.Sprintf("Table 6 — Model-visible data memory at P=%d (bytes)", p),
+		Header: []string{"application", "MP", "SHMEM", "CC-SAS", "MP/CC-SAS ratio"},
+	}
+	t.AddRow("adaptive mesh",
+		fmt.Sprintf("%d", mm[0].DataBytes), fmt.Sprintf("%d", mm[1].DataBytes),
+		fmt.Sprintf("%d", mm[2].DataBytes),
+		core.F(float64(mm[0].DataBytes)/float64(mm[2].DataBytes)))
+	t.AddRow("barnes-hut n-body",
+		fmt.Sprintf("%d", nb[0].DataBytes), fmt.Sprintf("%d", nb[1].DataBytes),
+		fmt.Sprintf("%d", nb[2].DataBytes),
+		core.F(float64(nb[0].DataBytes)/float64(nb[2].DataBytes)))
+	return t
+}
+
+// Fig7 is the sensitivity ablation: total mesh-application time as the
+// remote:local memory latency ratio sweeps from 1x to 8x, at a fixed
+// processor count. CC-SAS depends on hardware shared memory, so it is the
+// model most exposed to NUMA-ness.
+func Fig7(o Opts) *core.Table {
+	procs := o.Procs[len(o.Procs)-1]
+	if procs > 32 {
+		procs = 32
+	}
+	t := &core.Table{
+		Title:  fmt.Sprintf("Figure 7 — Sensitivity to remote:local latency ratio (mesh, P=%d)", procs),
+		Header: []string{"ratio", "MP", "SHMEM", "CC-SAS", "CC-SAS/MP"},
+	}
+	plans := adaptmesh.BuildPlans(o.MeshW, procs)
+	for _, ratio := range []float64{1, 2, 4, 8} {
+		cfg := machine.Default(procs)
+		cfg.RemoteMissNS = sim.Time(float64(cfg.LocalMissNS) * ratio)
+		cfg.RemoteHopNS = sim.Time(float64(cfg.RemoteHopNS) * ratio / 1.5)
+		m := machine.MustNew(cfg)
+		var tot [3]sim.Time
+		for i, model := range core.AllModels() {
+			tot[i] = adaptmesh.RunWithPlans(model, m, o.MeshW, plans).Total
+		}
+		t.AddRow(fmt.Sprintf("%.1fx", ratio),
+			core.FT(tot[0]), core.FT(tot[1]), core.FT(tot[2]),
+			core.F(float64(tot[2])/float64(tot[0])))
+	}
+	return t
+}
+
+// Fig8 is the load-balancing figure: the mesh application with and without
+// PLUM-style remapping, per model.
+func Fig8(o Opts) *core.Table {
+	procs := o.Procs[len(o.Procs)-1]
+	t := &core.Table{
+		Title:  fmt.Sprintf("Figure 8 — PLUM remapping on vs off (mesh, P=%d)", procs),
+		Header: []string{"model", "remap on", "remap off", "moved weight on", "moved weight off"},
+	}
+	wOff := o.MeshW
+	wOff.NoRemap = true
+	on := runMesh(o.MeshW, procs)
+	off := runMesh(wOff, procs)
+	for i, model := range core.AllModels() {
+		t.AddRow(model.String(),
+			core.FT(on[i].Total), core.FT(off[i].Total),
+			core.F(on[i].Extra["moved_weight"]), core.F(off[i].Extra["moved_weight"]))
+	}
+	return t
+}
+
+// Table9 is the communication/traffic statistics table at two scales.
+func Table9(o Opts) *core.Table {
+	t := &core.Table{
+		Title:  "Table 9 — Traffic statistics (mesh application)",
+		Header: []string{"P", "model", "msgs", "bytes", "remote misses", "coh evictions", "lock ops"},
+	}
+	for _, p := range []int{o.Procs[len(o.Procs)/2], o.Procs[len(o.Procs)-1]} {
+		m := runMesh(o.MeshW, p)
+		for i, model := range core.AllModels() {
+			c := m[i].Counters
+			t.AddRow(fmt.Sprintf("%d", p), model.String(),
+				fmt.Sprintf("%d", c.MsgsSent), fmt.Sprintf("%d", c.BytesSent),
+				fmt.Sprintf("%d", c.RemoteMisses), fmt.Sprintf("%d", c.CohMisses),
+				fmt.Sprintf("%d", c.LockOps))
+		}
+	}
+	return t
+}
+
+// Fig10 is the regular-workload control: the MP:CC-SAS total-time ratio on
+// the static Jacobi stencil vs the two adaptive applications, per processor
+// count. The adaptive ratios should be well above the stencil's ≈1 line —
+// direct evidence that the paradigm gap is caused by adaptivity.
+func Fig10(o Opts) *core.Table {
+	t := &core.Table{
+		Title:  "Figure 10 — MP:CC-SAS time ratio, regular vs adaptive workloads",
+		Header: []string{"P", "stencil (regular)", "adaptive mesh", "n-body"},
+	}
+	for _, p := range o.Procs {
+		if p < 4 {
+			continue // ratios at tiny P are all ~1 and waste a row
+		}
+		m := mach(p)
+		st0 := stencil.Run(core.MP, m, o.StencilW).Total
+		st2 := stencil.Run(core.SAS, m, o.StencilW).Total
+		me := runMesh(o.MeshW, p)
+		nb := runNBody(o.NBodyW, p)
+		t.AddRow(fmt.Sprintf("%d", p),
+			core.F(float64(st0)/float64(st2)),
+			core.F(float64(me[0].Total)/float64(me[2].Total)),
+			core.F(float64(nb[0].Total)/float64(nb[2].Total)))
+	}
+	return t
+}
+
+// Fig11 is the page-migration ablation: CC-SAS on the adaptive mesh with
+// IRIX-style static first-touch placement vs OS page migration after each
+// repartition. Migration buys locality back in the solve loop at a per-page
+// cost — the trade-off shifts with scale.
+func Fig11(o Opts) *core.Table {
+	t := &core.Table{
+		Title:  "Figure 11 — CC-SAS page migration ablation (adaptive mesh)",
+		Header: []string{"P", "first-touch", "page-migrate", "remote misses FT", "remote misses PM"},
+	}
+	wMig := o.MeshW
+	wMig.SasPageMigrate = true
+	for _, p := range o.Procs {
+		if p < 4 {
+			continue
+		}
+		plans := adaptmesh.BuildPlans(o.MeshW, p)
+		ft := adaptmesh.RunWithPlans(core.SAS, mach(p), o.MeshW, plans)
+		pm := adaptmesh.RunWithPlans(core.SAS, mach(p), wMig, plans)
+		t.AddRow(fmt.Sprintf("%d", p),
+			core.FT(ft.Total), core.FT(pm.Total),
+			fmt.Sprintf("%d", ft.Counters.RemoteMisses),
+			fmt.Sprintf("%d", pm.Counters.RemoteMisses))
+	}
+	return t
+}
+
+// Fig12 re-runs the mesh comparison on four machine classes: the baseline
+// Origin2000, a T3E-like message-optimized MPP, an ideal (bus) SMP, and a
+// cluster of SMPs. The study's claim is conditional on the machine class —
+// this figure makes the condition explicit: the CC-SAS win belongs to
+// tightly coupled ccNUMA (and SMP); on a T3E, SHMEM leads; on a cluster,
+// software shared memory collapses.
+func Fig12(o Opts) *core.Table {
+	procs := o.Procs[len(o.Procs)-1]
+	if procs > 32 {
+		procs = 32
+	}
+	t := &core.Table{
+		Title:  fmt.Sprintf("Figure 12 — Machine-class sweep (mesh, P=%d)", procs),
+		Header: []string{"machine", "MP", "SHMEM", "CC-SAS", "winner"},
+	}
+	plans := adaptmesh.BuildPlans(o.MeshW, procs)
+	classes := []struct {
+		name string
+		cfg  machine.Config
+	}{
+		{"origin2000 (ccNUMA)", machine.Default(procs)},
+		{"t3e (MPP)", machine.T3E(procs)},
+		{"ideal SMP", machine.SMP(procs)},
+		{"cluster of SMPs", machine.ClusterOfSMPs(procs)},
+	}
+	for _, cl := range classes {
+		m := machine.MustNew(cl.cfg)
+		var tot [3]sim.Time
+		best := 0
+		for i, model := range core.AllModels() {
+			tot[i] = adaptmesh.RunWithPlans(model, m, o.MeshW, plans).Total
+			if tot[i] < tot[best] {
+				best = i
+			}
+		}
+		t.AddRow(cl.name, core.FT(tot[0]), core.FT(tot[1]), core.FT(tot[2]),
+			core.AllModels()[best].String())
+	}
+	return t
+}
+
+// Fig13 is the hybrid-model extension: MP+SAS (message passing between
+// nodes, shared memory within) against the pure models, on the baseline
+// Origin2000 and on a cluster of 4-way SMPs. The follow-up-paper result:
+// the hybrid is only marginally different from pure MP on tightly coupled
+// hardware, but wins where inter-node messaging is expensive.
+func Fig13(o Opts) *core.Table {
+	procs := o.Procs[len(o.Procs)-1]
+	t := &core.Table{
+		Title:  fmt.Sprintf("Figure 13 — Hybrid MP+SAS extension (mesh, P=%d)", procs),
+		Header: []string{"machine", "MP", "MP+SAS hybrid", "CC-SAS", "hybrid/MP"},
+	}
+	for _, cl := range []struct {
+		name string
+		cfg  machine.Config
+	}{
+		{"origin2000", machine.Default(procs)},
+		{"cluster of SMPs", machine.ClusterOfSMPs(procs)},
+	} {
+		m := machine.MustNew(cl.cfg)
+		pure := adaptmesh.RunWithPlans(core.MP, m, o.MeshW, adaptmesh.BuildPlans(o.MeshW, procs)).Total
+		sasT := adaptmesh.RunWithPlans(core.SAS, m, o.MeshW, adaptmesh.BuildPlans(o.MeshW, procs)).Total
+		hyb := adaptmesh.RunHybridWithPlans(m, o.MeshW, adaptmesh.BuildPlans(o.MeshW, m.Nodes())).Total
+		t.AddRow(cl.name, core.FT(pure), core.FT(hyb), core.FT(sasT),
+			core.F(float64(hyb)/float64(pure)))
+	}
+	return t
+}
+
+// Fig14 is the conjugate-gradient figure: time per model vs P, plus the
+// share of MP's time spent in the two per-iteration global reductions —
+// CG's latency-bound signature. The reductions cannot shrink with P, so
+// their share grows and the hardware-assisted CC-SAS tree pulls ahead.
+func Fig14(o Opts) *core.Table {
+	t := &core.Table{
+		Title:  "Figure 14 — Conjugate gradient: time vs processors, reduction share",
+		Header: []string{"P", "MP", "SHMEM", "CC-SAS", "MP sync frac", "CC-SAS sync frac"},
+	}
+	for _, p := range o.Procs {
+		pl := cg.BuildPlan(o.CGW, p)
+		m := mach(p)
+		var met [3]core.Metrics
+		for i, model := range core.AllModels() {
+			met[i] = cg.RunWithPlan(model, m, o.CGW, pl)
+		}
+		t.AddRow(fmt.Sprintf("%d", p),
+			core.FT(met[0].Total), core.FT(met[1].Total), core.FT(met[2].Total),
+			core.F(met[0].PhaseFraction(sim.PhaseSync)),
+			core.F(met[2].PhaseFraction(sim.PhaseSync)))
+	}
+	return t
+}
+
+// All runs every experiment in index order.
+func All(o Opts) []*core.Table {
+	return []*core.Table{
+		Table1(o), Fig2(o), Fig3(o), Fig4(o), Table5(), Table6(o), Fig7(o), Fig8(o), Table9(o),
+		Fig10(o), Fig11(o), Fig12(o), Fig13(o), Fig14(o),
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"o2k/internal/apps/adaptmesh"
+	"o2k/internal/apps/barnes"
+	"o2k/internal/apps/cg"
+	"o2k/internal/apps/stencil"
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/sim"
+)
+
+// Verdicts runs the study's falsifiable predictions (the "expected shape"
+// lines of EXPERIMENTS.md) as executable checks and reports PASS/FAIL for
+// each — the reproduction statement in one table. It re-executes the
+// underlying experiments, so at DefaultOpts it takes as long as several
+// figures combined.
+func Verdicts(o Opts) *core.Table {
+	t := &core.Table{
+		Title:  "Verdicts — the study's falsifiable predictions, checked",
+		Header: []string{"id", "claim", "verdict", "evidence"},
+	}
+	maxP := o.Procs[len(o.Procs)-1]
+	midP := o.Procs[len(o.Procs)/2]
+
+	add := func(id, claim string, ok bool, evidence string) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+		}
+		t.AddRow(id, claim, verdict, evidence)
+	}
+
+	// V1/V2: mesh ordering and widening gap.
+	meshMax := runMesh(o.MeshW, maxP)
+	meshMid := runMesh(o.MeshW, midP)
+	add("V1", "adaptive mesh: CC-SAS < SHMEM < MP at max P",
+		meshMax[2].Total < meshMax[1].Total && meshMax[1].Total < meshMax[0].Total,
+		fmt.Sprintf("P=%d: %v / %v / %v", maxP, meshMax[0].Total, meshMax[1].Total, meshMax[2].Total))
+	gapMax := float64(meshMax[0].Total) / float64(meshMax[2].Total)
+	gapMid := float64(meshMid[0].Total) / float64(meshMid[2].Total)
+	add("V2", "MP:CC-SAS gap widens with P",
+		gapMax > gapMid,
+		fmt.Sprintf("P=%d: %.2f -> P=%d: %.2f", midP, gapMid, maxP, gapMax))
+
+	// V3: N-body winner.
+	nb := runNBody(o.NBodyW, maxP)
+	add("V3", "n-body: CC-SAS fastest at max P",
+		nb[2].Total < nb[0].Total && nb[2].Total < nb[1].Total,
+		fmt.Sprintf("%v / %v / %v", nb[0].Total, nb[1].Total, nb[2].Total))
+
+	// V4: memory ordering.
+	add("V4", "memory: CC-SAS < SHMEM <= MP (mesh)",
+		meshMax[2].DataBytes < meshMax[1].DataBytes && meshMax[1].DataBytes <= meshMax[0].DataBytes,
+		fmt.Sprintf("%d / %d / %d bytes", meshMax[0].DataBytes, meshMax[1].DataBytes, meshMax[2].DataBytes))
+
+	// V5: programming effort.
+	loc := Table5()
+	locOK := true
+	ev := ""
+	for _, r := range loc.Rows {
+		mp, sh, sa := atoiSafe(r[1]), atoiSafe(r[2]), atoiSafe(r[3])
+		if sa > mp || sa > sh {
+			locOK = false
+		}
+		ev += fmt.Sprintf("%s:%d/%d/%d ", r[0][:4], mp, sh, sa)
+	}
+	add("V5", "LoC: CC-SAS smallest in every component", locOK, ev)
+
+	// V6: NUMA-ratio crossover.
+	fig7 := Fig7(o)
+	first := parseRatio(fig7.Rows[0][4])
+	last := parseRatio(fig7.Rows[len(fig7.Rows)-1][4])
+	add("V6", "CC-SAS advantage erodes as remote:local ratio grows",
+		first < 1 && last > first,
+		fmt.Sprintf("CC-SAS/MP: %.2f -> %.2f", first, last))
+
+	// V7: regular control.
+	stMP := stencil.Run(core.MP, mach(maxP), o.StencilW).Total
+	stSAS := stencil.Run(core.SAS, mach(maxP), o.StencilW).Total
+	stGap := float64(stMP) / float64(stSAS)
+	add("V7", "regular stencil gap well below adaptive gap",
+		stGap < gapMax,
+		fmt.Sprintf("stencil %.2f vs mesh %.2f", stGap, gapMax))
+
+	// V8: PLUM remap reduces movement.
+	wOff := o.MeshW
+	wOff.NoRemap = true
+	on := adaptmesh.BuildPlans(o.MeshW, maxP)
+	off := adaptmesh.BuildPlans(wOff, maxP)
+	var mOn, mOff float64
+	for i := range on {
+		mOn += on[i].Remap.TotalW
+		mOff += off[i].Remap.TotalW
+	}
+	add("V8", "PLUM remap moves less weight than identity",
+		mOn <= mOff, fmt.Sprintf("%.0f vs %.0f", mOn, mOff))
+
+	// V9: machine-class flip.
+	t3e := machine.MustNew(machine.T3E(midP))
+	plans := adaptmesh.BuildPlans(o.MeshW, midP)
+	var t3eT [3]sim.Time
+	for i, model := range core.AllModels() {
+		t3eT[i] = adaptmesh.RunWithPlans(model, t3e, o.MeshW, plans).Total
+	}
+	add("V9", "on a T3E-like MPP the winner flips to SHMEM",
+		t3eT[1] < t3eT[0] && t3eT[1] < t3eT[2],
+		fmt.Sprintf("%v / %v / %v", t3eT[0], t3eT[1], t3eT[2]))
+
+	// V10: hybrid finding.
+	hyb := adaptmesh.RunHybridWithPlans(mach(maxP), o.MeshW,
+		adaptmesh.BuildPlans(o.MeshW, mach(maxP).Nodes())).Total
+	pure := meshMax[0].Total
+	add("V10", "hybrid MP+SAS within 15% of pure MP on Origin",
+		float64(hyb) <= 1.15*float64(pure),
+		fmt.Sprintf("hybrid %v vs MP %v", hyb, pure))
+
+	// V11: cross-model result identity.
+	nbp := barnes.BuildPlans(o.NBodyW, midP)
+	mm := runMesh(o.MeshW, midP)
+	okID := mm[0].Checksum == mm[1].Checksum && mm[1].Checksum == mm[2].Checksum
+	var nbc [3]float64
+	for i, model := range core.AllModels() {
+		nbc[i] = barnes.RunWithPlans(model, mach(midP), o.NBodyW, nbp).Checksum
+	}
+	okID = okID && nbc[0] == nbc[1] && nbc[1] == nbc[2]
+	add("V11", "bit-identical results across models (mesh + n-body)",
+		okID, fmt.Sprintf("mesh %.9g, n-body %.9g", mm[0].Checksum, nbc[0]))
+
+	// V12: CG reduction-latency signature.
+	cgPl := cg.BuildPlan(o.CGW, maxP)
+	cgMP := cg.RunWithPlan(core.MP, mach(maxP), o.CGW, cgPl)
+	cgMid := cg.RunWithPlan(core.MP, mach(midP), o.CGW, cg.BuildPlan(o.CGW, midP))
+	add("V12", "CG: MP reduction share grows with P",
+		cgMP.PhaseFraction(sim.PhaseSync) > cgMid.PhaseFraction(sim.PhaseSync),
+		fmt.Sprintf("sync frac P=%d: %.2f -> P=%d: %.2f",
+			midP, cgMid.PhaseFraction(sim.PhaseSync), maxP, cgMP.PhaseFraction(sim.PhaseSync)))
+
+	return t
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func parseRatio(s string) float64 {
+	var v float64
+	fmt.Sscanf(s, "%f", &v)
+	return v
+}

@@ -1,0 +1,64 @@
+package machine
+
+import "testing"
+
+func TestPresetsValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"t3e", T3E(64)},
+		{"smp", SMP(16)},
+		{"cluster", ClusterOfSMPs(32)},
+	} {
+		if err := tc.cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if _, err := New(tc.cfg); err != nil {
+			t.Errorf("%s: New: %v", tc.name, err)
+		}
+	}
+}
+
+func TestPresetCharacters(t *testing.T) {
+	o2k := Default(64)
+	t3e := T3E(64)
+	smp := SMP(64)
+	cls := ClusterOfSMPs(64)
+
+	// T3E: one-sided is dramatically cheaper than on the Origin; CC-SAS
+	// synchronization dramatically more expensive.
+	if !(t3e.ShmPutOvNS < o2k.ShmPutOvNS) {
+		t.Error("T3E puts should beat Origin puts")
+	}
+	if !(t3e.SasBarrierHop > o2k.SasBarrierHop) {
+		t.Error("T3E emulated SAS should cost more")
+	}
+	// SMP: flat memory.
+	if smp.RemoteMissNS != smp.LocalMissNS || smp.RemoteHopNS != 0 {
+		t.Error("SMP should be UMA")
+	}
+	m := MustNew(smp)
+	if m.Nodes() != 1 || m.Hops(0, 63) != 0 {
+		t.Error("SMP should be a single node")
+	}
+	// Cluster: inter-node messaging much worse than Origin; remote memory
+	// catastrophically worse.
+	if !(cls.MPSendOvNS > o2k.MPSendOvNS && cls.RemoteMissNS > 4*o2k.RemoteMissNS) {
+		t.Error("cluster profile not slow enough")
+	}
+	mc := MustNew(cls)
+	if mc.Node(0) != 0 || mc.Node(3) != 0 || mc.Node(4) != 1 {
+		t.Error("cluster node mapping wrong")
+	}
+}
+
+func TestPresetTopologies(t *testing.T) {
+	m := MustNew(T3E(16)) // 1 proc per node: 16 nodes
+	if m.Nodes() != 16 {
+		t.Fatalf("T3E nodes = %d", m.Nodes())
+	}
+	if m.Hops(0, 15) != 4 {
+		t.Fatalf("T3E hops(0,15) = %d", m.Hops(0, 15))
+	}
+}

@@ -1,0 +1,36 @@
+package mesh
+
+import "testing"
+
+// Host-performance microbenchmarks of the adaptive-mesh substrate.
+
+func BenchmarkAdaptCycle(b *testing.B) {
+	front := DefaultFront(3)
+	for i := 0; i < b.N; i++ {
+		f := NewUnitSquare(16, 3)
+		for c := 0; c < 3; c++ {
+			f.Adapt(front.At(c))
+		}
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	f := NewUnitSquare(16, 3)
+	f.Adapt(DefaultFront(3).At(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Snapshot()
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	f := NewUnitSquare(16, 3)
+	f.Adapt(DefaultFront(3).At(0))
+	m := f.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

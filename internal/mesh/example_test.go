@@ -1,0 +1,31 @@
+package mesh_test
+
+import (
+	"fmt"
+
+	"o2k/internal/mesh"
+)
+
+// The forest persists across adaptation cycles; each Snapshot is a
+// conforming mesh ready for the solver.
+func ExampleForest_Adapt() {
+	f := mesh.NewUnitSquare(4, 2)
+	front := mesh.DefaultFront(2)
+	st := f.Adapt(front.At(0))
+	m := f.Snapshot()
+	fmt.Println("refined:", st.Refined > 0, "valid:", m.Validate() == nil)
+	fmt.Println("area:", m.TotalArea())
+	// Output:
+	// refined: true valid: true
+	// area: 1
+}
+
+// Uniform refinement quadruples the triangle count per level and never
+// needs green closures.
+func ExampleForest_Snapshot() {
+	f := mesh.NewUnitSquare(2, 1)
+	f.Adapt(func(x, y float64) int { return 1 })
+	m := f.Snapshot()
+	fmt.Println(m.NumTris(), "triangles")
+	// Output: 32 triangles
+}

@@ -1,0 +1,50 @@
+package mesh
+
+import "math"
+
+// CollidingFronts is a second, harder workload: two circular features that
+// start in opposite corners and sweep toward (and past) each other. Around
+// the collision the refined regions merge, the triangle count spikes, and
+// the partitions must reorganize drastically — a stress test for the
+// load-balancing and remapping machinery beyond the single moving front.
+type CollidingFronts struct {
+	A, B     MovingFront
+	MaxLevel int
+}
+
+// DefaultCollision returns the standard two-front workload.
+func DefaultCollision(maxLevel int) CollidingFronts {
+	a := DefaultFront(maxLevel)
+	b := MovingFront{
+		Radius:   0.18,
+		Band:     0.04,
+		MaxLevel: maxLevel,
+		X0:       0.85,
+		Y0:       0.85,
+		DX:       -0.10,
+		DY:       -0.08,
+	}
+	return CollidingFronts{A: a, B: b, MaxLevel: maxLevel}
+}
+
+// At returns the combined indicator at the given step: the deeper of the two
+// fronts' requests.
+func (c CollidingFronts) At(step int) Indicator {
+	ia := c.A.At(step)
+	ib := c.B.At(step)
+	return func(x, y float64) int {
+		la := ia(x, y)
+		if lb := ib(x, y); lb > la {
+			return lb
+		}
+		return la
+	}
+}
+
+// InitialField superimposes both fronts' bumps.
+func (c CollidingFronts) InitialField(x, y float64) float64 {
+	da := math.Hypot(x-c.A.X0, y-c.A.Y0) - c.A.Radius
+	db := math.Hypot(x-c.B.X0, y-c.B.Y0) - c.B.Radius
+	return math.Exp(-(da*da)/(2*c.A.Band*c.A.Band)) +
+		math.Exp(-(db*db)/(2*c.B.Band*c.B.Band))
+}

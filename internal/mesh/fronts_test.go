@@ -1,0 +1,57 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCollidingFrontsValid(t *testing.T) {
+	c := DefaultCollision(3)
+	f := NewUnitSquare(8, 3)
+	var sizes []int
+	for step := 0; step < 6; step++ {
+		f.Adapt(c.At(step))
+		m := f.Snapshot()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		sizes = append(sizes, m.NumTris())
+	}
+	// Two refined bands must cost more triangles than one.
+	single := NewUnitSquare(8, 3)
+	single.Adapt(DefaultFront(3).At(0))
+	if sizes[0] <= single.Snapshot().NumTris() {
+		t.Fatalf("two fronts (%d tris) not larger than one (%d)", sizes[0], single.Snapshot().NumTris())
+	}
+}
+
+func TestCollidingFrontsCombineMax(t *testing.T) {
+	c := DefaultCollision(3)
+	ind := c.At(0)
+	ia, ib := c.A.At(0), c.B.At(0)
+	for _, pt := range [][2]float64{{0.1, 0.1}, {0.9, 0.9}, {0.5, 0.5}, {0.3, 0.7}} {
+		want := ia(pt[0], pt[1])
+		if b := ib(pt[0], pt[1]); b > want {
+			want = b
+		}
+		if got := ind(pt[0], pt[1]); got != want {
+			t.Fatalf("indicator at %v = %d, want %d", pt, got, want)
+		}
+	}
+}
+
+func TestCollidingInitialFieldPeaks(t *testing.T) {
+	c := DefaultCollision(3)
+	onA := c.InitialField(c.A.X0+c.A.Radius, c.A.Y0)
+	onB := c.InitialField(c.B.X0, c.B.Y0+c.B.Radius)
+	mid := c.InitialField(0.5, 0.02)
+	if onA < 0.9 || onB < 0.9 {
+		t.Fatalf("field not peaked on fronts: %v %v", onA, onB)
+	}
+	if mid > 0.5 {
+		t.Fatalf("field unexpectedly high away from fronts: %v", mid)
+	}
+	if math.IsNaN(onA + onB + mid) {
+		t.Fatal("NaN field")
+	}
+}

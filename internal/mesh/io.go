@@ -1,0 +1,123 @@
+package mesh
+
+// Snapshot serialization: a small line-oriented text format so meshes can be
+// dumped, diffed, and reloaded (debugging, external tooling, golden tests).
+//
+//	o2kmesh 1
+//	verts <n>
+//	<x> <y>          (n lines, compacted vertex order)
+//	tris <m>
+//	<a> <b> <c> <level> <green>   (m lines, indices into the vertex list)
+//
+// Encoding compacts vertex IDs (a snapshot's global ID space has unused
+// holes); Decode rebuilds the edge structure and validates the result.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Encode writes snapshot m in the o2kmesh text format.
+func (m *Mesh) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	// Compact the used vertices.
+	remap := make([]int32, len(m.VX))
+	for i := range remap {
+		remap[i] = -1
+	}
+	n := int32(0)
+	for v := range m.VX {
+		if m.used[v] {
+			remap[v] = n
+			n++
+		}
+	}
+	fmt.Fprintf(bw, "o2kmesh 1\nverts %d\n", n)
+	for v := range m.VX {
+		if m.used[v] {
+			fmt.Fprintf(bw, "%.17g %.17g\n", m.VX[v], m.VY[v])
+		}
+	}
+	fmt.Fprintf(bw, "tris %d\n", len(m.Tris))
+	for t, tv := range m.Tris {
+		g := 0
+		if m.Green[t] {
+			g = 1
+		}
+		fmt.Fprintf(bw, "%d %d %d %d %d\n",
+			remap[tv[0]], remap[tv[1]], remap[tv[2]], m.Level[t], g)
+	}
+	return bw.Flush()
+}
+
+// Decode reads an o2kmesh stream and reconstructs a standalone snapshot
+// (with freshly built edge structure). The result does not belong to any
+// Forest and cannot be adapted further; it is for inspection and solving.
+func Decode(r io.Reader) (*Mesh, error) {
+	br := bufio.NewReader(r)
+	var version int
+	if _, err := fmt.Fscanf(br, "o2kmesh %d\n", &version); err != nil {
+		return nil, fmt.Errorf("mesh: bad header: %w", err)
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("mesh: unsupported version %d", version)
+	}
+	var nv int
+	if _, err := fmt.Fscanf(br, "verts %d\n", &nv); err != nil || nv <= 0 {
+		return nil, fmt.Errorf("mesh: bad vertex count")
+	}
+	vx := make([]float64, nv)
+	vy := make([]float64, nv)
+	for i := 0; i < nv; i++ {
+		if _, err := fmt.Fscanf(br, "%g %g\n", &vx[i], &vy[i]); err != nil {
+			return nil, fmt.Errorf("mesh: vertex %d: %w", i, err)
+		}
+	}
+	var nt int
+	if _, err := fmt.Fscanf(br, "tris %d\n", &nt); err != nil || nt <= 0 {
+		return nil, fmt.Errorf("mesh: bad triangle count")
+	}
+	m := &Mesh{VX: vx, VY: vy}
+	for t := 0; t < nt; t++ {
+		var a, b, c, lvl, g int
+		if _, err := fmt.Fscanf(br, "%d %d %d %d %d\n", &a, &b, &c, &lvl, &g); err != nil {
+			return nil, fmt.Errorf("mesh: triangle %d: %w", t, err)
+		}
+		if a < 0 || a >= nv || b < 0 || b >= nv || c < 0 || c >= nv {
+			return nil, fmt.Errorf("mesh: triangle %d has out-of-range vertex", t)
+		}
+		m.Tris = append(m.Tris, [3]int32{int32(a), int32(b), int32(c)})
+		m.Level = append(m.Level, int8(lvl))
+		m.Green = append(m.Green, g != 0)
+		m.Leaf = append(m.Leaf, -1)
+	}
+	m.buildEdges()
+	return m, nil
+}
+
+// FromRaw builds a standalone snapshot from raw coordinate and connectivity
+// arrays (for importing externally generated meshes). It builds the edge
+// structure; call Validate to check conformity.
+func FromRaw(vx, vy []float64, tris [][3]int32) (*Mesh, error) {
+	if len(vx) != len(vy) {
+		return nil, fmt.Errorf("mesh: coordinate length mismatch")
+	}
+	if len(tris) == 0 {
+		return nil, fmt.Errorf("mesh: no triangles")
+	}
+	m := &Mesh{VX: vx, VY: vy}
+	for t, tv := range tris {
+		for _, v := range tv {
+			if v < 0 || int(v) >= len(vx) {
+				return nil, fmt.Errorf("mesh: triangle %d vertex out of range", t)
+			}
+		}
+		m.Tris = append(m.Tris, tv)
+		m.Level = append(m.Level, 0)
+		m.Green = append(m.Green, false)
+		m.Leaf = append(m.Leaf, -1)
+	}
+	m.buildEdges()
+	return m, nil
+}

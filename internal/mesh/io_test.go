@@ -1,0 +1,94 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := NewUnitSquare(6, 2)
+	f.Adapt(DefaultFront(2).At(1))
+	m := f.Snapshot()
+
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Validate(); err != nil {
+		t.Fatalf("decoded mesh invalid: %v", err)
+	}
+	if m2.NumTris() != m.NumTris() || m2.NumEdges() != m.NumEdges() {
+		t.Fatalf("sizes changed: %d/%d vs %d/%d",
+			m2.NumTris(), m2.NumEdges(), m.NumTris(), m.NumEdges())
+	}
+	// Geometry preserved exactly (coordinates are printed at full precision).
+	for tt := 0; tt < m.NumTris(); tt++ {
+		if m.Area(tt) != m2.Area(tt) {
+			t.Fatalf("triangle %d area changed: %v vs %v", tt, m.Area(tt), m2.Area(tt))
+		}
+		if m.Level[tt] != m2.Level[tt] || m.Green[tt] != m2.Green[tt] {
+			t.Fatalf("triangle %d metadata changed", tt)
+		}
+	}
+	if m2.NumVertsUsed() != m.NumVertsUsed() {
+		t.Fatalf("vertex counts differ: %d vs %d", m2.NumVertsUsed(), m.NumVertsUsed())
+	}
+	// Decoded meshes are compacted: every vertex is used.
+	if m2.NumVertsTotal() != m2.NumVertsUsed() {
+		t.Fatal("decode did not compact vertices")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		"",
+		"wrongmagic 1\n",
+		"o2kmesh 99\nverts 1\n0 0\ntris 1\n0 0 0 0 0\n",
+		"o2kmesh 1\nverts -3\n",
+		"o2kmesh 1\nverts 1\n0 0\ntris 1\n0 0 9 0 0\n", // out-of-range vertex
+		"o2kmesh 1\nverts 2\n0 0\n1 1\ntris 0\n",
+		"o2kmesh 1\nverts 2\n0 0\nbogus\n",
+	}
+	for i, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestFromRaw(t *testing.T) {
+	// Unit square split into two triangles.
+	vx := []float64{0, 1, 1, 0}
+	vy := []float64{0, 0, 1, 1}
+	tris := [][3]int32{{0, 1, 2}, {0, 2, 3}}
+	m, err := FromRaw(vx, vy, tris)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumEdges() != 5 {
+		t.Fatalf("edges = %d, want 5", m.NumEdges())
+	}
+	if m.TotalArea() != 1 {
+		t.Fatalf("area = %v", m.TotalArea())
+	}
+}
+
+func TestFromRawRejectsBad(t *testing.T) {
+	if _, err := FromRaw([]float64{0}, []float64{0, 1}, [][3]int32{{0, 0, 0}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FromRaw([]float64{0, 1}, []float64{0, 1}, nil); err == nil {
+		t.Error("empty triangles accepted")
+	}
+	if _, err := FromRaw([]float64{0, 1, 0}, []float64{0, 0, 1}, [][3]int32{{0, 1, 7}}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}

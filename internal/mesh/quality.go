@@ -1,0 +1,102 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quality metrics and structural validation for snapshots. These back the
+// mesh test suite and the workload-characteristics table.
+
+// AspectRatio returns the ratio of longest edge to twice the inradius of
+// triangle t (1.0 ≈ equilateral; larger is worse).
+func (m *Mesh) AspectRatio(t int) float64 {
+	v := m.Tris[t]
+	l := [3]float64{}
+	for i := 0; i < 3; i++ {
+		a, b := v[i], v[(i+1)%3]
+		dx := m.VX[a] - m.VX[b]
+		dy := m.VY[a] - m.VY[b]
+		l[i] = math.Hypot(dx, dy)
+	}
+	area := m.Area(t)
+	if area == 0 {
+		return math.Inf(1)
+	}
+	s := (l[0] + l[1] + l[2]) / 2
+	inr := area / s
+	longest := math.Max(l[0], math.Max(l[1], l[2]))
+	return longest / (2 * math.Sqrt(3) * inr) * math.Sqrt(3)
+}
+
+// WorstAspect returns the worst aspect ratio over all triangles.
+func (m *Mesh) WorstAspect() float64 {
+	w := 0.0
+	for t := range m.Tris {
+		if a := m.AspectRatio(t); a > w {
+			w = a
+		}
+	}
+	return w
+}
+
+// Validate checks the structural invariants of a conforming snapshot:
+//   - every triangle has three distinct, in-range vertices and positive area;
+//   - every edge borders one or two triangles (manifold);
+//   - the mesh covers the unit square exactly (areas sum to 1);
+//   - no triangle corner lies strictly inside another triangle's edge
+//     (conformity: no hanging vertices survive extraction).
+func (m *Mesh) Validate() error {
+	if len(m.Tris) == 0 {
+		return fmt.Errorf("mesh: empty snapshot")
+	}
+	nv := int32(len(m.VX))
+	for t, v := range m.Tris {
+		if v[0] == v[1] || v[1] == v[2] || v[0] == v[2] {
+			return fmt.Errorf("mesh: triangle %d has repeated vertices %v", t, v)
+		}
+		for _, vi := range v {
+			if vi < 0 || vi >= nv {
+				return fmt.Errorf("mesh: triangle %d vertex %d out of range", t, vi)
+			}
+		}
+		if m.Area(t) <= 0 {
+			return fmt.Errorf("mesh: triangle %d has non-positive area", t)
+		}
+	}
+	for e, ts := range m.EdgeTris {
+		if ts[0] == nilIdx {
+			return fmt.Errorf("mesh: edge %d has no triangles", e)
+		}
+	}
+	if a := m.TotalArea(); math.Abs(a-1.0) > 1e-9 {
+		return fmt.Errorf("mesh: total area %v != 1", a)
+	}
+	// Conformity: for every boundaryless edge shared by exactly one triangle,
+	// it must lie on the domain boundary.
+	for e, ts := range m.EdgeTris {
+		if ts[1] != nilIdx {
+			continue
+		}
+		a, b := m.Edges[e][0], m.Edges[e][1]
+		if !onBoundary(m.VX[a], m.VY[a]) || !onBoundary(m.VX[b], m.VY[b]) {
+			return fmt.Errorf("mesh: interior edge %d (%d-%d) has only one triangle (hanging vertex?)",
+				e, a, b)
+		}
+	}
+	return nil
+}
+
+func onBoundary(x, y float64) bool {
+	const eps = 1e-12
+	return x < eps || x > 1-eps || y < eps || y > 1-eps
+}
+
+// LevelHistogram returns the triangle count per refinement level.
+func (m *Mesh) LevelHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, l := range m.Level {
+		h[int(l)]++
+	}
+	return h
+}

@@ -1,0 +1,178 @@
+package mp
+
+import (
+	"o2k/internal/sim"
+)
+
+// Number constrains the element types the reduction collectives support.
+type Number interface {
+	~int | ~int32 | ~int64 | ~uint64 | ~float64
+}
+
+// Op selects the combining operator of a reduction.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func combine[T Number](op Op, a, b T) T {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	panic("mp: unknown op")
+}
+
+// Allreduce combines vals elementwise across all ranks (in rank order, so
+// floating-point results are deterministic) and returns the combined vector
+// on every rank.
+func Allreduce[T Number](r *Rank, vals []T, op Op) []T {
+	r.P.Collectives++
+	cp := make([]T, len(vals))
+	copy(cp, vals)
+	res := r.W.reducer.DoAs(r.P, r.ID(), cp, func(all []any) any {
+		out := make([]T, len(cp))
+		first := true
+		for _, v := range all {
+			vs := v.([]T)
+			if first {
+				copy(out, vs)
+				first = false
+				continue
+			}
+			for i := range out {
+				out[i] = combine(op, out[i], vs[i])
+			}
+		}
+		return out
+	}).([]T)
+	// Per-rank data cost beyond the synchronization: log-stage copies.
+	bytes := byteLen(vals)
+	stages := r.W.M.LogStages(r.Size())
+	r.P.Advance(sim.Time(stages) * sim.Time(bytes) * r.W.M.Cfg.MPPerByteNS)
+	r.P.BytesSent += uint64(bytes * stages)
+	return res
+}
+
+// Allreduce1 is Allreduce for a single value.
+func Allreduce1[T Number](r *Rank, v T, op Op) T {
+	return Allreduce(r, []T{v}, op)[0]
+}
+
+// Bcast distributes root's data to every rank and returns it. Non-root ranks
+// pass nil (or anything; only root's payload is used).
+func Bcast[T any](r *Rank, root int, data []T) []T {
+	r.P.Collectives++
+	var payload []T
+	if r.ID() == root {
+		payload = make([]T, len(data))
+		copy(payload, data)
+	}
+	res := r.W.reducer.DoAs(r.P, r.ID(), payload, func(all []any) any {
+		for _, v := range all {
+			if vs, ok := v.([]T); ok && vs != nil {
+				return vs
+			}
+		}
+		return []T(nil)
+	}).([]T)
+	bytes := byteLen(res)
+	if r.ID() == root {
+		r.P.Advance(sim.Time(r.W.M.LogStages(r.Size())) * sim.Time(bytes) * r.W.M.Cfg.MPPerByteNS)
+		r.P.BytesSent += uint64(bytes)
+		r.P.MsgsSent++
+	} else {
+		r.P.Advance(sim.Time(bytes) * r.W.M.Cfg.MPPerByteNS)
+	}
+	return res
+}
+
+// Allgatherv concatenates every rank's contribution in rank order and returns
+// the whole vector plus the starting offset of each rank's block.
+func Allgatherv[T any](r *Rank, data []T) (all []T, offsets []int) {
+	r.P.Collectives++
+	cp := make([]T, len(data))
+	copy(cp, data)
+	type gathered struct {
+		all     []T
+		offsets []int
+	}
+	res := r.W.reducer.DoAs(r.P, r.ID(), cp, func(vals []any) any {
+		g := &gathered{offsets: make([]int, len(vals)+1)}
+		for i, v := range vals {
+			vs := v.([]T)
+			g.offsets[i] = len(g.all)
+			g.all = append(g.all, vs...)
+		}
+		g.offsets[len(vals)] = len(g.all)
+		return g
+	}).(*gathered)
+	// Each rank receives everyone else's data.
+	foreign := byteLen(res.all) - byteLen(data)
+	cfg := &r.W.M.Cfg
+	r.P.Advance(sim.Time(foreign) * (cfg.MPPerByteNS + cfg.WirePerByteNS))
+	r.P.BytesSent += uint64(byteLen(data))
+	r.P.MsgsSent += uint64(r.W.M.LogStages(r.Size()))
+	return res.all, res.offsets[:r.Size()]
+}
+
+// Exscan returns the exclusive prefix sum of per-rank contributions v (rank
+// order) and the global total — MPI_Exscan plus MPI_Allreduce in one step.
+func Exscan(r *Rank, v int) (before, total int) {
+	r.P.Collectives++
+	res := r.W.reducer.DoAs(r.P, r.ID(), v, func(all []any) any {
+		pre := make([]int, len(all)+1)
+		for i, x := range all {
+			pre[i+1] = pre[i] + x.(int)
+		}
+		return pre
+	}).([]int)
+	return res[r.ID()], res[len(res)-1]
+}
+
+// Alltoallv delivers chunks[dst] from every rank to rank dst, using real
+// point-to-point messages (this is how the MP remapping phase moves data).
+// chunks[r.ID()] is kept locally. It returns the received chunks indexed by
+// source rank.
+func Alltoallv[T any](r *Rank, chunks [][]T) [][]T {
+	const tag = -7 // runtime-internal tag
+	n := r.Size()
+	out := make([][]T, n)
+	me := r.ID()
+	out[me] = chunks[me]
+	// Stagger send order to avoid systematic hot spots: rank k sends first to
+	// k+1, then k+2, ...
+	for d := 1; d < n; d++ {
+		dst := (me + d) % n
+		Send(r, dst, tag, chunks[dst])
+	}
+	for d := 1; d < n; d++ {
+		src := (me - d + n) % n
+		out[src] = Recv[T](r, src, tag)
+	}
+	return out
+}
+
+// Gatherv collects every rank's contribution on root (rank order). Non-root
+// ranks receive nil.
+func Gatherv[T any](r *Rank, root int, data []T) (all []T, offsets []int) {
+	allv, offs := Allgatherv(r, data) // costed as allgather; root-only variant below
+	if r.ID() != root {
+		return nil, nil
+	}
+	return allv, offs
+}

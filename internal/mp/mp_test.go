@@ -1,0 +1,385 @@
+package mp
+
+import (
+	"testing"
+
+	"o2k/internal/machine"
+	"o2k/internal/sim"
+)
+
+func world(procs int) (*World, *sim.Group) {
+	m := machine.MustNew(machine.Default(procs))
+	return NewWorld(m), sim.NewGroup(procs)
+}
+
+func TestSendRecvDelivers(t *testing.T) {
+	w, g := world(2)
+	var got []float64
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		if r.ID() == 0 {
+			Send(r, 1, 7, []float64{1, 2, 3})
+		} else {
+			got = Recv[float64](r, 0, 7)
+		}
+	})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("payload corrupted: %v", got)
+	}
+}
+
+func TestSendBufferReusable(t *testing.T) {
+	w, g := world(2)
+	var got []int32
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		if r.ID() == 0 {
+			buf := []int32{10, 20}
+			Send(r, 1, 0, buf)
+			buf[0] = 99 // must not affect the in-flight message
+			r.Barrier()
+		} else {
+			r.Barrier()
+			got = Recv[int32](r, 0, 0)
+		}
+	})
+	if got[0] != 10 {
+		t.Fatalf("send buffer aliased: %v", got)
+	}
+}
+
+func TestRecvWaitsForVirtualDelivery(t *testing.T) {
+	w, g := world(2)
+	var recvClock sim.Time
+	var sendClock sim.Time
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		if r.ID() == 0 {
+			p.Advance(50 * sim.Microsecond) // sender is late
+			Send(r, 1, 0, []float64{1})
+			sendClock = p.Now()
+		} else {
+			Recv[float64](r, 0, 0)
+			recvClock = p.Now()
+		}
+	})
+	if recvClock <= sendClock {
+		t.Fatalf("recv completed at %v, before/at send completion %v", recvClock, sendClock)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	w, g := world(2)
+	var first, second []int
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		if r.ID() == 0 {
+			Send(r, 1, 3, []int{1})
+			Send(r, 1, 3, []int{2})
+		} else {
+			first = Recv[int](r, 0, 3)
+			second = Recv[int](r, 0, 3)
+		}
+	})
+	if first[0] != 1 || second[0] != 2 {
+		t.Fatalf("FIFO violated: %v %v", first, second)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	w, g := world(2)
+	var a, b []int
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		if r.ID() == 0 {
+			Send(r, 1, 5, []int{5})
+			Send(r, 1, 4, []int{4})
+		} else {
+			// Receive in the opposite tag order.
+			a = Recv[int](r, 0, 4)
+			b = Recv[int](r, 0, 5)
+		}
+	})
+	if a[0] != 4 || b[0] != 5 {
+		t.Fatalf("tag matching wrong: %v %v", a, b)
+	}
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	w, g := world(1)
+	g.Run(func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("send to self should panic")
+			}
+		}()
+		Send(w.Rank(p), 0, 0, []int{1})
+	})
+}
+
+func TestIrecvWait(t *testing.T) {
+	w, g := world(2)
+	var got []float64
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		if r.ID() == 0 {
+			Send(r, 1, 9, []float64{42})
+		} else {
+			req := Irecv[float64](r, 0, 9)
+			got = req.Wait()
+			if w2 := req.Wait(); &w2[0] != &got[0] {
+				t.Error("second Wait should return cached payload")
+			}
+		}
+	})
+	if got[0] != 42 {
+		t.Fatalf("Irecv payload: %v", got)
+	}
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	w, g := world(2)
+	got := make([][]int, 2)
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		other := 1 - r.ID()
+		got[r.ID()] = SendRecv(r, other, 1, []int{r.ID() * 100}, other, 1)
+	})
+	if got[0][0] != 100 || got[1][0] != 0 {
+		t.Fatalf("exchange wrong: %v", got)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	w, g := world(4)
+	sums := make([]float64, 4)
+	maxs := make([]int, 4)
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		sums[r.ID()] = Allreduce1(r, float64(r.ID()+1), OpSum)
+		maxs[r.ID()] = Allreduce1(r, r.ID()*3, OpMax)
+	})
+	for i := 0; i < 4; i++ {
+		if sums[i] != 10 {
+			t.Errorf("rank %d sum = %v, want 10", i, sums[i])
+		}
+		if maxs[i] != 9 {
+			t.Errorf("rank %d max = %v, want 9", i, maxs[i])
+		}
+	}
+}
+
+func TestAllreduceMinVector(t *testing.T) {
+	w, g := world(3)
+	out := make([][]int64, 3)
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		out[r.ID()] = Allreduce(r, []int64{int64(r.ID()), int64(10 - r.ID())}, OpMin)
+	})
+	for i := range out {
+		if out[i][0] != 0 || out[i][1] != 8 {
+			t.Fatalf("vector min wrong: %v", out[i])
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w, g := world(4)
+	out := make([][]float64, 4)
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		var data []float64
+		if r.ID() == 2 {
+			data = []float64{3.5, 4.5}
+		}
+		out[r.ID()] = Bcast(r, 2, data)
+	})
+	for i := 0; i < 4; i++ {
+		if len(out[i]) != 2 || out[i][1] != 4.5 {
+			t.Fatalf("rank %d bcast = %v", i, out[i])
+		}
+	}
+}
+
+func TestAllgatherv(t *testing.T) {
+	w, g := world(3)
+	alls := make([][]int, 3)
+	offs := make([][]int, 3)
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		mine := make([]int, r.ID()+1) // variable lengths: 1, 2, 3
+		for i := range mine {
+			mine[i] = r.ID()*10 + i
+		}
+		alls[r.ID()], offs[r.ID()] = Allgatherv(r, mine)
+	})
+	want := []int{0, 10, 11, 20, 21, 22}
+	for rk := 0; rk < 3; rk++ {
+		if len(alls[rk]) != 6 {
+			t.Fatalf("rank %d total len %d", rk, len(alls[rk]))
+		}
+		for i, v := range want {
+			if alls[rk][i] != v {
+				t.Fatalf("rank %d slot %d = %d, want %d", rk, i, alls[rk][i], v)
+			}
+		}
+		if offs[rk][0] != 0 || offs[rk][1] != 1 || offs[rk][2] != 3 {
+			t.Fatalf("rank %d offsets %v", rk, offs[rk])
+		}
+	}
+}
+
+func TestExscan(t *testing.T) {
+	w, g := world(4)
+	befores := make([]int, 4)
+	totals := make([]int, 4)
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		befores[r.ID()], totals[r.ID()] = Exscan(r, r.ID()+1) // 1,2,3,4
+	})
+	wantBefore := []int{0, 1, 3, 6}
+	for i := 0; i < 4; i++ {
+		if befores[i] != wantBefore[i] || totals[i] != 10 {
+			t.Fatalf("rank %d: before=%d total=%d", i, befores[i], totals[i])
+		}
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	w, g := world(4)
+	got := make([][][]int, 4)
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		chunks := make([][]int, 4)
+		for d := 0; d < 4; d++ {
+			chunks[d] = []int{r.ID()*100 + d}
+		}
+		got[r.ID()] = Alltoallv(r, chunks)
+	})
+	for me := 0; me < 4; me++ {
+		for src := 0; src < 4; src++ {
+			if got[me][src][0] != src*100+me {
+				t.Fatalf("rank %d from %d: %v", me, src, got[me][src])
+			}
+		}
+	}
+}
+
+func TestGatherv(t *testing.T) {
+	w, g := world(3)
+	var rootAll []int
+	var nonRoot []int = []int{-1}
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		all, _ := Gatherv(r, 0, []int{r.ID()})
+		if r.ID() == 0 {
+			rootAll = all
+		} else if r.ID() == 1 {
+			nonRoot = all
+		}
+	})
+	if len(rootAll) != 3 || rootAll[2] != 2 {
+		t.Fatalf("root gather: %v", rootAll)
+	}
+	if nonRoot != nil {
+		t.Fatalf("non-root should get nil, got %v", nonRoot)
+	}
+}
+
+func TestBarrierMergesRanks(t *testing.T) {
+	w, g := world(4)
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		p.Advance(sim.Time(r.ID()) * sim.Millisecond)
+		r.Barrier()
+	})
+	t0 := g.Proc(0).Now()
+	for i := 1; i < 4; i++ {
+		if g.Proc(i).Now() != t0 {
+			t.Fatalf("clocks unequal after barrier")
+		}
+	}
+	if t0 <= 3*sim.Millisecond {
+		t.Fatalf("barrier cost missing: %v", t0)
+	}
+}
+
+func TestCommChargesCurrentPhase(t *testing.T) {
+	// Communication costs are attributed to the caller's current phase, so
+	// an exchange performed inside an application phase (e.g. remap) is
+	// charged to that phase.
+	w, g := world(2)
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		p.SetPhase(sim.PhaseRemap)
+		if r.ID() == 0 {
+			Send(r, 1, 0, make([]float64, 1000))
+		} else {
+			Recv[float64](r, 0, 0)
+		}
+	})
+	if g.Proc(0).PhaseTime(sim.PhaseRemap) == 0 {
+		t.Error("sender cost not attributed to current phase")
+	}
+	if g.Proc(1).PhaseTime(sim.PhaseRemap) == 0 {
+		t.Error("receiver cost not attributed to current phase")
+	}
+	if g.Proc(0).BytesSent != 8000 {
+		t.Errorf("bytes sent = %d", g.Proc(0).BytesSent)
+	}
+	if g.Proc(0).MsgsSent != 1 {
+		t.Errorf("msgs sent = %d", g.Proc(0).MsgsSent)
+	}
+}
+
+func TestDeterministicTiming(t *testing.T) {
+	run := func() sim.Time {
+		w, g := world(8)
+		g.Run(func(p *sim.Proc) {
+			r := w.Rank(p)
+			for iter := 0; iter < 10; iter++ {
+				next := (r.ID() + 1) % 8
+				prev := (r.ID() + 7) % 8
+				Send(r, next, iter, []float64{float64(iter)})
+				Recv[float64](r, prev, iter)
+				Allreduce1(r, float64(r.ID()), OpSum)
+			}
+		})
+		return g.MaxTime()
+	}
+	first := run()
+	for i := 0; i < 4; i++ {
+		if got := run(); got != first {
+			t.Fatalf("MP timing nondeterministic: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	w, g := world(2)
+	g.Run(func(p *sim.Proc) {
+		r := w.Rank(p)
+		if r.ID() == 0 {
+			Send(r, 1, 0, []int{1})
+		} else {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected type-mismatch panic")
+				}
+			}()
+			Recv[float64](r, 0, 0)
+		}
+	})
+}
+
+func TestRankOutOfWorldPanics(t *testing.T) {
+	m := machine.MustNew(machine.Default(2))
+	w := NewWorld(m)
+	g := sim.NewGroup(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic binding proc 3 to world of 2")
+		}
+	}()
+	w.Rank(g.Proc(3))
+}

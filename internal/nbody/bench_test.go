@@ -1,0 +1,45 @@
+package nbody
+
+import "testing"
+
+// Host-performance microbenchmarks of the N-body substrate.
+
+func BenchmarkTreeBuild(b *testing.B) {
+	bodies := NewPlummer(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(bodies)
+	}
+}
+
+func BenchmarkAccel(b *testing.B) {
+	bodies := NewPlummer(4096, 1)
+	t := Build(bodies)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.DirectAccel(bodies, int32(i%4096), ThetaBH)
+	}
+}
+
+func BenchmarkCostZones(b *testing.B) {
+	bodies := NewPlummer(4096, 1)
+	cost := make([]float64, 4096)
+	for i := range cost {
+		cost[i] = float64(i%97 + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CostZones(bodies, cost, 16)
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	bodies := NewPlummer(2048, 1)
+	ax := make([]float64, 2048)
+	ay := make([]float64, 2048)
+	inter := make([]int, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Step(bodies, Build(bodies), ThetaBH, ax, ay, inter)
+	}
+}

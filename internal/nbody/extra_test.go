@@ -1,0 +1,122 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any deterministic body set, every body lands in exactly one
+// leaf and the root aggregates the full mass.
+func TestTreePropertyRandomSets(t *testing.T) {
+	f := func(seed int64, n16 uint16) bool {
+		n := int(n16)%900 + 10
+		b := NewPlummer(n, seed)
+		tr := Build(b)
+		seen := make([]int, n)
+		for c := range tr.Cells {
+			for _, i := range tr.Cells[c].Bodies {
+				seen[i]++
+			}
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		total := 0.0
+		for _, m := range b.M {
+			total += m
+		}
+		return math.Abs(tr.Cells[tr.Root].CM-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost zones are contiguous in Morton order — no zone index ever
+// decreases along the sorted key sequence.
+func TestCostZonesContiguous(t *testing.T) {
+	b := NewPlummer(2000, 31)
+	cost := make([]float64, b.N())
+	for i := range cost {
+		cost[i] = float64(i%13 + 1)
+	}
+	part := CostZones(b, cost, 7)
+	x0, y0, size := b.Bounds()
+	type kv struct {
+		key uint32
+		id  int32
+	}
+	order := make([]kv, b.N())
+	for i := range order {
+		order[i] = kv{b.MortonKey(i, x0, y0, size), int32(i)}
+	}
+	// Insertion sort by (key, id) — mirrors CostZones' ordering.
+	for i := 1; i < len(order); i++ {
+		x := order[i]
+		j := i - 1
+		for j >= 0 && (order[j].key > x.key || (order[j].key == x.key && order[j].id > x.id)) {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = x
+	}
+	last := int32(-1)
+	for _, o := range order {
+		p := part[o.id]
+		if p < last {
+			t.Fatalf("zone decreased along morton order: %d after %d", p, last)
+		}
+		last = p
+	}
+}
+
+func TestAccelSymmetryTwoBodies(t *testing.T) {
+	b := &Bodies{
+		X: []float64{0.3, 0.7}, Y: []float64{0.5, 0.5},
+		VX: make([]float64, 2), VY: make([]float64, 2),
+		M: []float64{0.5, 0.5},
+	}
+	tr := Build(b)
+	ax0, ay0, _ := tr.DirectAccel(b, 0, 0)
+	ax1, ay1, _ := tr.DirectAccel(b, 1, 0)
+	// Equal masses: forces are equal and opposite.
+	if math.Abs(ax0+ax1) > 1e-12 || math.Abs(ay0+ay1) > 1e-12 {
+		t.Fatalf("asymmetric forces: (%v,%v) vs (%v,%v)", ax0, ay0, ax1, ay1)
+	}
+	if ax0 <= 0 {
+		t.Fatal("body 0 should be pulled right")
+	}
+}
+
+func TestCoincidentBodiesSoftened(t *testing.T) {
+	// Softening must keep coincident bodies finite (and the tree must not
+	// recurse forever thanks to maxDepth).
+	b := &Bodies{
+		X:  []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+		Y:  []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+		VX: make([]float64, 9), VY: make([]float64, 9),
+		M: []float64{1, 1, 1, 1, 1, 1, 1, 1, 1},
+	}
+	tr := Build(b)
+	ax, ay, _ := tr.DirectAccel(b, 0, ThetaBH)
+	if math.IsNaN(ax) || math.IsInf(ax, 0) || math.IsNaN(ay) {
+		t.Fatalf("coincident bodies diverged: %v %v", ax, ay)
+	}
+}
+
+func TestSingleBody(t *testing.T) {
+	b := &Bodies{X: []float64{0.5}, Y: []float64{0.5},
+		VX: []float64{0}, VY: []float64{0}, M: []float64{1}}
+	tr := Build(b)
+	ax, ay, inter := tr.DirectAccel(b, 0, ThetaBH)
+	if ax != 0 || ay != 0 || inter != 0 {
+		t.Fatalf("lone body accelerated: %v %v %d", ax, ay, inter)
+	}
+	part := CostZones(b, []float64{1}, 4)
+	if part[0] < 0 || part[0] >= 4 {
+		t.Fatal("single-body partition out of range")
+	}
+}

@@ -1,0 +1,77 @@
+package nbody
+
+import "sort"
+
+// CostZones partitions bodies into nparts spatially-compact, cost-balanced
+// zones: bodies are ordered by Morton key and split at cumulative-cost
+// boundaries. cost[i] is the per-body work estimate (interaction count from
+// the previous step; ones for the first). Ties in keys break by body index,
+// so the partition is deterministic.
+func CostZones(b *Bodies, cost []float64, nparts int) []int32 {
+	n := b.N()
+	x0, y0, size := b.Bounds()
+	order := make([]int32, n)
+	keys := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		order[i] = int32(i)
+		keys[i] = b.MortonKey(i, x0, y0, size)
+	}
+	sort.Slice(order, func(a, c int) bool {
+		ia, ic := order[a], order[c]
+		if keys[ia] != keys[ic] {
+			return keys[ia] < keys[ic]
+		}
+		return ia < ic
+	})
+	total := 0.0
+	for _, ci := range cost {
+		total += ci
+	}
+	out := make([]int32, n)
+	part := 0
+	cum := 0.0
+	for _, i := range order {
+		// Advance to the next zone when this one's share is filled.
+		for part < nparts-1 && cum >= total*float64(part+1)/float64(nparts) {
+			part++
+		}
+		out[i] = int32(part)
+		cum += cost[i]
+	}
+	return out
+}
+
+// Step advances the reference simulation by one leapfrog step with the
+// given tree, writing accelerations into ax/ay and returning per-body
+// interaction counts. Bodies update in index order.
+func Step(b *Bodies, t *Tree, theta float64, ax, ay []float64, inter []int) {
+	n := b.N()
+	for i := 0; i < n; i++ {
+		ax[i], ay[i], inter[i] = t.DirectAccel(b, int32(i), theta)
+	}
+	for i := 0; i < n; i++ {
+		b.VX[i] += ax[i] * DT
+		b.VY[i] += ay[i] * DT
+		b.X[i] += b.VX[i] * DT
+		b.Y[i] += b.VY[i] * DT
+	}
+}
+
+// Energy returns the kinetic energy (a cheap sanity invariant: it should
+// stay bounded over the short runs used here).
+func (b *Bodies) Energy() float64 {
+	e := 0.0
+	for i := 0; i < b.N(); i++ {
+		e += 0.5 * b.M[i] * (b.VX[i]*b.VX[i] + b.VY[i]*b.VY[i])
+	}
+	return e
+}
+
+// Checksum folds positions into a deterministic digest (index order).
+func (b *Bodies) Checksum() float64 {
+	s := 0.0
+	for i := 0; i < b.N(); i++ {
+		s += b.X[i] + 2*b.Y[i]
+	}
+	return s
+}

@@ -1,0 +1,302 @@
+package numa
+
+import (
+	"fmt"
+	"unsafe"
+
+	"o2k/internal/sim"
+)
+
+// Array is a typed, placement-aware memory region. Elements live in an
+// ordinary Go slice (Data), so applications compute real results; Load,
+// Store, and Touch* additionally charge virtual time to the accessing
+// processor according to the cache simulator and the touched page's home.
+//
+// Two kinds exist:
+//
+//   - Private arrays (NewPrivate) model per-process memory in the MP and
+//     SHMEM programs: all pages are homed on the owner and no coherence
+//     tracking is done. Only the owner should access them (puts/gets in the
+//     SHMEM runtime are the costed exception).
+//
+//   - Shared arrays (NewShared) model CC-SAS data: pages may be placed
+//     anywhere, and writes are recorded per processor so the next coherence
+//     merge (Space.MergeEpoch, invoked by the sas barrier) invalidates the
+//     written lines in every other cache.
+//
+// Data-race discipline follows the source programming models: between two
+// synchronization points, an element of a shared array may be written by at
+// most one processor (and then must not be read by others). The runtimes'
+// tests enforce this for the applications in this repository.
+type Array[T any] struct {
+	sp       *Space
+	data     []T
+	elemSize uint64
+	base     uint64 // byte address of element 0 (page aligned)
+	baseLine uint64
+	pageHome []int32 // home processor per page
+	shared   bool
+
+	// Epoch write-sets (shared arrays only).
+	writeLines [][]uint32 // per proc: line indices written this epoch
+	writeBits  [][]uint64 // per proc: dedup bitmap over line indices
+}
+
+// NewPrivate allocates n elements of private memory homed on owner.
+func NewPrivate[T any](sp *Space, owner, n int) *Array[T] {
+	a := newArray[T](sp, n)
+	a.PlaceUniform(owner)
+	return a
+}
+
+// NewShared allocates n elements of shared memory with coherence tracking.
+// Pages default to home processor 0; call a Place* method to distribute.
+func NewShared[T any](sp *Space, n int) *Array[T] {
+	a := newArray[T](sp, n)
+	a.shared = true
+	p := sp.M.Procs()
+	a.writeLines = make([][]uint32, p)
+	a.writeBits = make([][]uint64, p)
+	sp.registerShared(a)
+	return a
+}
+
+func newArray[T any](sp *Space, n int) *Array[T] {
+	if n < 0 {
+		panic("numa: negative array length")
+	}
+	var z T
+	es := uint64(unsafe.Sizeof(z))
+	if es == 0 {
+		es = 1
+	}
+	bytes := es * uint64(n)
+	base := sp.reserve(int(bytes))
+	pb := uint64(sp.M.Cfg.PageBytes)
+	pages := (bytes + pb - 1) / pb
+	if pages == 0 {
+		pages = 1
+	}
+	a := &Array[T]{
+		sp:       sp,
+		data:     make([]T, n),
+		elemSize: es,
+		base:     base,
+		baseLine: base / uint64(sp.M.Cfg.LineBytes),
+		pageHome: make([]int32, pages),
+	}
+	sp.addAlloc(int(bytes))
+	return a
+}
+
+// Len returns the element count.
+func (a *Array[T]) Len() int { return len(a.data) }
+
+// Bytes returns the allocation size in bytes.
+func (a *Array[T]) Bytes() int { return int(a.elemSize) * len(a.data) }
+
+// Data exposes the backing slice for bulk computation. Accesses through Data
+// are not costed; pair them with Touch/TouchRange, or prefer Load/Store.
+func (a *Array[T]) Data() []T { return a.data }
+
+// --- Placement -------------------------------------------------------------
+
+// PlaceUniform homes every page on processor owner.
+func (a *Array[T]) PlaceUniform(owner int) {
+	a.checkProc(owner)
+	for i := range a.pageHome {
+		a.pageHome[i] = int32(owner)
+	}
+}
+
+// PlaceInterleave homes page i on processor i mod P (round-robin), the
+// classic "spread everything" placement.
+func (a *Array[T]) PlaceInterleave() {
+	p := int32(a.sp.M.Procs())
+	for i := range a.pageHome {
+		a.pageHome[i] = int32(i) % p
+	}
+}
+
+// PlaceBlock homes pages in contiguous blocks: processor k gets the pages
+// covering elements [k*n/P, (k+1)*n/P).
+func (a *Array[T]) PlaceBlock() {
+	a.PlaceByElem(func(i int) int {
+		return i * a.sp.M.Procs() / max(len(a.data), 1)
+	})
+}
+
+// PlaceByElem homes each page on ownerOf(first element in the page). This is
+// the deterministic stand-in for first-touch placement: pass the same owner
+// function the application uses to initialize the array.
+func (a *Array[T]) PlaceByElem(ownerOf func(elem int) int) {
+	pb := uint64(a.sp.M.Cfg.PageBytes)
+	for pg := range a.pageHome {
+		elem := int(uint64(pg) * pb / a.elemSize)
+		if elem >= len(a.data) {
+			elem = len(a.data) - 1
+		}
+		if elem < 0 {
+			elem = 0
+		}
+		o := ownerOf(elem)
+		a.checkProc(o)
+		a.pageHome[pg] = int32(o)
+	}
+}
+
+// RehomeByElem re-places every page like PlaceByElem and returns how many
+// pages actually changed home — the input to a page-migration cost model.
+// It must only be called while no processor is accessing the array (between
+// SPMD regions or at a rendezvous).
+func (a *Array[T]) RehomeByElem(ownerOf func(elem int) int) (moved int) {
+	pb := uint64(a.sp.M.Cfg.PageBytes)
+	for pg := range a.pageHome {
+		elem := int(uint64(pg) * pb / a.elemSize)
+		if elem >= len(a.data) {
+			elem = len(a.data) - 1
+		}
+		if elem < 0 {
+			elem = 0
+		}
+		o := ownerOf(elem)
+		a.checkProc(o)
+		if a.pageHome[pg] != int32(o) {
+			a.pageHome[pg] = int32(o)
+			moved++
+		}
+	}
+	return moved
+}
+
+// Home returns the home processor of the page containing element i.
+func (a *Array[T]) Home(i int) int {
+	return int(a.pageHome[a.pageOf(i)])
+}
+
+func (a *Array[T]) checkProc(p int) {
+	if p < 0 || p >= a.sp.M.Procs() {
+		panic(fmt.Sprintf("numa: processor %d out of range [0,%d)", p, a.sp.M.Procs()))
+	}
+}
+
+func (a *Array[T]) pageOf(i int) int {
+	return int(uint64(i) * a.elemSize / uint64(a.sp.M.Cfg.PageBytes))
+}
+
+func (a *Array[T]) lineOf(i int) uint32 {
+	return uint32(uint64(i) * a.elemSize / uint64(a.sp.M.Cfg.LineBytes))
+}
+
+// --- Costed access ---------------------------------------------------------
+
+// charge runs the cache/NUMA cost model for one access to local line index
+// li by processor p, and (for shared arrays) records the write-set entry.
+func (a *Array[T]) charge(p *sim.Proc, li uint32, write bool) {
+	me := p.ID()
+	c := a.sp.caches[me]
+	gl := a.baseLine + uint64(li)
+	if c.access(gl) {
+		p.CacheHits++
+		p.Advance(a.sp.M.Cfg.CacheHitNS)
+	} else {
+		home := int(a.pageHome[int(uint64(li)*uint64(a.sp.M.Cfg.LineBytes)/uint64(a.sp.M.Cfg.PageBytes))])
+		lat := a.sp.M.MemAccess(me, home)
+		if a.sp.M.Hops(me, home) == 0 {
+			p.LocalMisses++
+		} else {
+			p.RemoteMisses++
+		}
+		p.Advance(lat)
+	}
+	if write && a.shared {
+		bits := a.writeBits[me]
+		if bits == nil {
+			bits = make([]uint64, (a.lines()+63)/64)
+			a.writeBits[me] = bits
+		}
+		w, b := li>>6, uint64(1)<<(li&63)
+		if bits[w]&b == 0 {
+			bits[w] |= b
+			a.writeLines[me] = append(a.writeLines[me], li)
+		}
+	}
+}
+
+func (a *Array[T]) lines() int {
+	return int((a.elemSize*uint64(len(a.data)) + uint64(a.sp.M.Cfg.LineBytes) - 1) / uint64(a.sp.M.Cfg.LineBytes))
+}
+
+// Load returns element i, charging the access to p.
+func (a *Array[T]) Load(p *sim.Proc, i int) T {
+	a.charge(p, a.lineOf(i), false)
+	return a.data[i]
+}
+
+// Store writes element i, charging the access to p.
+func (a *Array[T]) Store(p *sim.Proc, i int, v T) {
+	a.charge(p, a.lineOf(i), true)
+	a.data[i] = v
+}
+
+// Touch charges a read (or write) of element i without moving data; use when
+// computing directly on Data.
+func (a *Array[T]) Touch(p *sim.Proc, i int, write bool) {
+	a.charge(p, a.lineOf(i), write)
+}
+
+// TouchRange charges a streaming access of elements [lo, hi) — one cache
+// event per distinct line — without moving data.
+func (a *Array[T]) TouchRange(p *sim.Proc, lo, hi int, write bool) {
+	if lo >= hi {
+		return
+	}
+	l0, l1 := a.lineOf(lo), a.lineOf(hi-1)
+	for li := l0; li <= l1; li++ {
+		a.charge(p, li, write)
+	}
+}
+
+// Fill stores v into [lo, hi), charging one event per line.
+func (a *Array[T]) Fill(p *sim.Proc, lo, hi int, v T) {
+	a.TouchRange(p, lo, hi, true)
+	for i := lo; i < hi; i++ {
+		a.data[i] = v
+	}
+}
+
+// LineRange returns the global line-address range [lo, hi) covering elements
+// [e0, e1); hi == lo when the element range is empty.
+func (a *Array[T]) LineRange(e0, e1 int) (lo, hi uint64) {
+	if e0 >= e1 {
+		return 0, 0
+	}
+	lo = a.baseLine + uint64(a.lineOf(e0))
+	hi = a.baseLine + uint64(a.lineOf(e1-1)) + 1
+	return lo, hi
+}
+
+// --- Coherence merge (epochTracker) -----------------------------------------
+
+func (a *Array[T]) mergeEpoch(caches []*cache, evicts []uint64) {
+	for w := range a.writeLines {
+		lines := a.writeLines[w]
+		if len(lines) == 0 {
+			continue
+		}
+		bits := a.writeBits[w]
+		for _, li := range lines {
+			gl := a.baseLine + uint64(li)
+			for q, c := range caches {
+				if q == w {
+					continue
+				}
+				if c.invalidate(gl) {
+					evicts[q]++
+				}
+			}
+			bits[li>>6] &^= uint64(1) << (li & 63)
+		}
+		a.writeLines[w] = lines[:0]
+	}
+}

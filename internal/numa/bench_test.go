@@ -1,0 +1,73 @@
+package numa
+
+import (
+	"testing"
+
+	"o2k/internal/sim"
+)
+
+// Host-performance microbenchmarks of the memory-system simulator: these
+// bound how much simulated work a real second buys.
+
+func BenchmarkLoadHit(b *testing.B) {
+	sp, _ := space(1)
+	g := sim.NewGroup(1)
+	a := NewPrivate[float64](sp, 0, 1024)
+	p := g.Proc(0)
+	a.Load(p, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Load(p, 0)
+	}
+}
+
+func BenchmarkLoadStream(b *testing.B) {
+	sp, _ := space(1)
+	g := sim.NewGroup(1)
+	a := NewPrivate[float64](sp, 0, 1<<16)
+	p := g.Proc(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Load(p, i&(1<<16-1))
+	}
+}
+
+func BenchmarkStoreSharedTracked(b *testing.B) {
+	sp, _ := space(4)
+	g := sim.NewGroup(4)
+	a := NewShared[float64](sp, 1<<16)
+	p := g.Proc(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Store(p, i&(1<<16-1), 1)
+	}
+}
+
+func BenchmarkMergeEpoch(b *testing.B) {
+	sp, _ := space(8)
+	g := sim.NewGroup(8)
+	a := NewShared[float64](sp, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for q := 0; q < 8; q++ {
+			p := g.Proc(q)
+			for k := 0; k < 256; k++ {
+				a.Store(p, (q*256+k)*16%(1<<14), 1)
+			}
+		}
+		b.StartTimer()
+		sp.MergeEpoch()
+	}
+}
+
+func BenchmarkTouchRange(b *testing.B) {
+	sp, _ := space(1)
+	g := sim.NewGroup(1)
+	a := NewPrivate[float64](sp, 0, 1<<16)
+	p := g.Proc(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.TouchRange(p, 0, 1<<12, false)
+	}
+}

@@ -1,0 +1,126 @@
+// Package numa models the Origin2000 memory system: physically distributed
+// memory with page-granularity placement, per-processor caches, and a
+// deterministic release-consistency coherence model.
+//
+// Data lives in ordinary Go slices (so applications compute real results);
+// the package's job is to charge virtual time for every access according to
+// where the touched page is homed and whether the line is cached. Coherence
+// is resolved at synchronization points: each shared array records the cache
+// lines written per processor during an epoch, and at a barrier (or lock
+// hand-off) those write-sets invalidate the line in every other processor's
+// cache. Because invalidations happen only at synchronization-ordered points,
+// the cost model is deterministic — identical on every run — while still
+// capturing the communication-to-computation behaviour that drives CC-SAS
+// performance: placement locality, cache reuse, and coherence misses on
+// actively shared data.
+package numa
+
+// cacheWays is the set associativity. The R10000's secondary cache was
+// 2-way; we use 4-way LRU so that the simulator's page-aligned allocation
+// pattern does not manufacture conflict pathologies the real (physically
+// indexed, OS-page-coloured) machine avoided.
+const cacheWays = 4
+
+// cache is a set-associative, line-tagged cache simulator with LRU
+// replacement. It tracks only tags (presence), not data — data correctness
+// is handled by the real Go slices. A cache is owned by exactly one
+// processor goroutine; the coherence merge touches it only while that
+// processor is blocked at a barrier.
+type cache struct {
+	tags      []uint64 // cacheWays tags per set, LRU-ordered (way 0 = MRU); 0 = invalid
+	setMask   uint64
+	setBits   uint // log2(number of sets)
+	lineShift uint
+	cohEvicts uint64 // lines invalidated by coherence since last reset
+}
+
+func newCache(cacheBytes, lineBytes int) *cache {
+	sets := cacheBytes / lineBytes / cacheWays
+	if sets < 1 {
+		sets = 1
+	}
+	// Round down to a power of two for masking.
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	bits := uint(0)
+	for 1<<bits < sets {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1 // avoid zero shifts when there is a single set
+	}
+	return &cache{
+		tags:      make([]uint64, sets*cacheWays),
+		setMask:   uint64(sets - 1),
+		setBits:   bits,
+		lineShift: shift,
+	}
+}
+
+// setOf maps a line address to its set. The index XOR-folds higher address
+// bits into the set bits — the deterministic stand-in for the physical page
+// colouring real operating systems use, which keeps the simulator's
+// page-aligned, power-of-two-strided allocations from aliasing into the
+// same sets.
+func (c *cache) setOf(line uint64) uint64 {
+	return (line ^ line>>c.setBits ^ line>>(2*c.setBits)) & c.setMask
+}
+
+// access looks line up and installs it as MRU; reports whether it was a hit.
+func (c *cache) access(line uint64) bool {
+	base := c.setOf(line) * cacheWays
+	set := c.tags[base : base+cacheWays]
+	t := line + 1
+	for w := 0; w < cacheWays; w++ {
+		if set[w] == t {
+			// Hit: move to front (LRU update).
+			copy(set[1:w+1], set[:w])
+			set[0] = t
+			return true
+		}
+	}
+	// Miss: evict LRU (last way), install as MRU.
+	copy(set[1:], set[:cacheWays-1])
+	set[0] = t
+	return false
+}
+
+// present reports whether line is cached, without touching LRU state.
+func (c *cache) present(line uint64) bool {
+	base := int(c.setOf(line) * cacheWays)
+	t := line + 1
+	for w := 0; w < cacheWays; w++ {
+		if c.tags[base+w] == t {
+			return true
+		}
+	}
+	return false
+}
+
+// invalidate drops line if present, counting a coherence eviction; it
+// reports whether the line was actually evicted.
+func (c *cache) invalidate(line uint64) bool {
+	base := int(c.setOf(line) * cacheWays)
+	t := line + 1
+	for w := 0; w < cacheWays; w++ {
+		if c.tags[base+w] == t {
+			// Compact the remaining ways forward.
+			copy(c.tags[base+w:base+cacheWays-1], c.tags[base+w+1:base+cacheWays])
+			c.tags[base+cacheWays-1] = 0
+			c.cohEvicts++
+			return true
+		}
+	}
+	return false
+}
+
+// flush empties the cache (used between experiment repetitions).
+func (c *cache) flush() {
+	clear(c.tags)
+	c.cohEvicts = 0
+}

@@ -1,0 +1,119 @@
+package numa
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"o2k/internal/machine"
+	"o2k/internal/sim"
+)
+
+// Space is the memory system of one simulated machine run: it owns the
+// per-processor cache simulators, hands out disjoint address ranges to
+// arrays, and performs the epoch coherence merge for shared arrays.
+type Space struct {
+	M *machine.Machine
+
+	caches   []*cache
+	nextBase atomic.Uint64
+
+	mu     sync.Mutex
+	shared []epochTracker // shared arrays with live write-sets
+
+	allocBytes atomic.Uint64
+}
+
+// epochTracker is the slice of Array behaviour the coherence merge needs.
+type epochTracker interface {
+	// mergeEpoch applies this array's per-proc write-sets to every other
+	// processor's cache, accumulating per-proc invalidation counts into
+	// evicts, then clears the write-sets.
+	mergeEpoch(caches []*cache, evicts []uint64)
+}
+
+// NewSpace creates the memory system for machine m.
+func NewSpace(m *machine.Machine) *Space {
+	s := &Space{M: m, caches: make([]*cache, m.Procs())}
+	for i := range s.caches {
+		s.caches[i] = newCache(m.Cfg.CacheBytes, m.Cfg.LineBytes)
+	}
+	s.nextBase.Store(uint64(m.Cfg.PageBytes)) // keep address 0 unused
+	return s
+}
+
+// reserve claims an address range of n bytes aligned to the page size.
+func (s *Space) reserve(n int) uint64 {
+	pb := uint64(s.M.Cfg.PageBytes)
+	sz := (uint64(n) + pb - 1) / pb * pb
+	if sz == 0 {
+		sz = pb
+	}
+	return s.nextBase.Add(sz) - sz
+}
+
+func (s *Space) registerShared(t epochTracker) {
+	s.mu.Lock()
+	s.shared = append(s.shared, t)
+	s.mu.Unlock()
+}
+
+func (s *Space) addAlloc(n int) { s.allocBytes.Add(uint64(n)) }
+
+// AllocBytes reports total model-visible memory allocated in this space.
+func (s *Space) AllocBytes() uint64 { return s.allocBytes.Load() }
+
+// MergeEpoch resolves coherence for all shared arrays: every line written by
+// some processor since the previous merge is invalidated in all other caches.
+// It returns the per-processor virtual-time penalty (invalidation processing)
+// that the caller — a barrier implementation — must charge before releasing
+// each processor.
+//
+// MergeEpoch must be called while every processor in the space is blocked
+// (i.e., from inside a barrier's rendezvous), since it touches all caches.
+func (s *Space) MergeEpoch() []sim.Time {
+	evicts := make([]uint64, len(s.caches))
+	s.mu.Lock()
+	trackers := s.shared
+	s.mu.Unlock()
+	for _, t := range trackers {
+		t.mergeEpoch(s.caches, evicts)
+	}
+	pen := make([]sim.Time, len(evicts))
+	per := s.M.Cfg.CohInvalPerLine
+	for i, e := range evicts {
+		pen[i] = sim.Time(e) * per
+	}
+	return pen
+}
+
+// InvalidateLines drops the given global line addresses from processor pe's
+// cache and returns how many were actually evicted. Like MergeEpoch, it must
+// only be called while pe is blocked at a rendezvous.
+func (s *Space) InvalidateLines(pe int, lines []uint64) int {
+	c := s.caches[pe]
+	n := 0
+	for _, l := range lines {
+		if c.invalidate(l) {
+			n++
+		}
+	}
+	return n
+}
+
+// CohEvictions reports, per processor, how many cache lines coherence has
+// invalidated so far (a proxy for coherence misses in the traffic tables).
+func (s *Space) CohEvictions() []uint64 {
+	out := make([]uint64, len(s.caches))
+	for i, c := range s.caches {
+		out[i] = c.cohEvicts
+	}
+	return out
+}
+
+// FlushCaches empties every processor cache; used between benchmark
+// repetitions so each repetition starts cold.
+func (s *Space) FlushCaches() {
+	for _, c := range s.caches {
+		c.flush()
+	}
+}

@@ -1,0 +1,56 @@
+package partition
+
+import (
+	"testing"
+
+	"o2k/internal/mesh"
+)
+
+// Host-performance microbenchmarks of the partitioning machinery.
+
+func benchMesh(b *testing.B) *mesh.Mesh {
+	b.Helper()
+	f := mesh.NewUnitSquare(12, 3)
+	f.Adapt(mesh.DefaultFront(3).At(0))
+	return f.Snapshot()
+}
+
+func BenchmarkRCB(b *testing.B) {
+	xs, ys, w := uniformPoints(20000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RCB(xs, ys, w, 64)
+	}
+}
+
+func BenchmarkNewDecomp(b *testing.B) {
+	m := benchMesh(b)
+	xs := make([]float64, m.NumTris())
+	ys := make([]float64, m.NumTris())
+	wt := make([]float64, m.NumTris())
+	for t := 0; t < m.NumTris(); t++ {
+		xs[t], ys[t] = m.Centroid(t)
+		wt[t] = 1
+	}
+	part := RCB(xs, ys, wt, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewDecomp(m, part, 16)
+	}
+}
+
+func BenchmarkRemap(b *testing.B) {
+	n, p := 20000, 64
+	old := make([]int32, n)
+	newPart := make([]int32, n)
+	w := make([]float64, n)
+	for i := range old {
+		old[i] = int32(i * p / n)
+		newPart[i] = int32(((i + n/p) % n) * p / n)
+		w[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Remap(old, newPart, w, p)
+	}
+}

@@ -1,0 +1,100 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"o2k/internal/mesh"
+)
+
+// Property: for any random triangle partition of a valid snapshot, the
+// decomposition invariants hold — complete disjoint ownership and border
+// lists pointing at real owners.
+func TestDecompPropertyRandomPartitions(t *testing.T) {
+	f := mesh.NewUnitSquare(5, 2)
+	f.Adapt(mesh.DefaultFront(2).At(1))
+	m := f.Snapshot()
+	prop := func(seed int64, p8 uint8) bool {
+		nparts := int(p8)%6 + 2
+		rng := rand.New(rand.NewSource(seed))
+		owner := make([]int32, m.NumTris())
+		for i := range owner {
+			owner[i] = int32(rng.Intn(nparts))
+		}
+		d := NewDecomp(m, owner, nparts)
+		// Edges owned exactly once, by the first adjacent tri's owner.
+		for e := 0; e < m.NumEdges(); e++ {
+			if d.EdgeOwner[e] != owner[m.EdgeTris[e][0]] {
+				return false
+			}
+		}
+		// Borders: owner correct, touch relation plausible.
+		for p := 0; p < nparts; p++ {
+			for q := 0; q < nparts; q++ {
+				for _, v := range d.Border[p][q] {
+					if d.VertOwner[v] != int32(q) || p == q {
+						return false
+					}
+				}
+			}
+		}
+		// Owned vertex lists partition the used vertices.
+		count := 0
+		for p := 0; p < nparts; p++ {
+			count += len(d.OwnedVerts[p])
+		}
+		return count == m.NumVertsUsed()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemapSinglePart(t *testing.T) {
+	old := []int32{0, 0, 0}
+	newPart := []int32{0, 0, 0}
+	w := []float64{1, 2, 3}
+	assign, st := Remap(old, newPart, w, 1)
+	if assign[0] != 0 || st.TotalW != 0 || st.Retained != 1 {
+		t.Fatalf("degenerate remap wrong: %v %+v", assign, st)
+	}
+}
+
+func TestRemapAllWeightZero(t *testing.T) {
+	old := []int32{0, 1}
+	newPart := []int32{1, 0}
+	w := []float64{0, 0}
+	_, st := Remap(old, newPart, w, 2)
+	if st.Retained != 1 {
+		t.Fatalf("zero-weight retained = %v", st.Retained)
+	}
+}
+
+func TestRCBSinglePoint(t *testing.T) {
+	part := RCB([]float64{0.5}, []float64{0.5}, []float64{1}, 4)
+	if part[0] < 0 || part[0] >= 4 {
+		t.Fatalf("single point part %d", part[0])
+	}
+}
+
+func TestRCBDegenerateCoordinates(t *testing.T) {
+	// All points identical: must still terminate and assign valid parts.
+	n := 64
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	w := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i], w[i] = 0.5, 0.5, 1
+	}
+	part := RCB(xs, ys, w, 8)
+	counts := make([]int, 8)
+	for _, p := range part {
+		counts[p]++
+	}
+	for q, c := range counts {
+		if c != 8 {
+			t.Fatalf("degenerate RCB zone %d has %d points", q, c)
+		}
+	}
+}

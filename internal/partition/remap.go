@@ -1,0 +1,108 @@
+package partition
+
+// The PLUM framework (Oliker & Biswas) observed that after repartitioning an
+// adapted mesh, the labels of the new parts are arbitrary — so choosing which
+// processor gets which new part is a degree of freedom that can drastically
+// reduce data movement. Remap implements PLUM's similarity-matrix heuristic:
+// build S[p][q] = weight currently on processor p that the new partition
+// assigns to part q, then greedily match the largest entries.
+
+// RemapStats quantifies the migration a remapping implies, in the metrics
+// PLUM reports.
+type RemapStats struct {
+	TotalW   float64 // total weight that changes processors (TotalV)
+	MaxOutW  float64 // largest per-processor outgoing weight (MaxV, send side)
+	MaxInW   float64 // largest per-processor incoming weight (MaxV, recv side)
+	Retained float64 // fraction of total weight that stays put
+}
+
+// Remap chooses the part→processor assignment that (heuristically) maximizes
+// the weight that stays on its current processor. oldOwner[i] is element i's
+// current processor, newPart[i] its part in the fresh partition, w[i] its
+// weight (e.g. element count or compute cost). It returns assign with
+// assign[q] = processor that receives part q, plus migration statistics.
+func Remap(oldOwner, newPart []int32, w []float64, nparts int) ([]int32, RemapStats) {
+	if len(oldOwner) != len(newPart) || len(oldOwner) != len(w) {
+		panic("partition: remap input length mismatch")
+	}
+	// Similarity matrix.
+	s := make([]float64, nparts*nparts) // s[p*nparts+q]
+	total := 0.0
+	for i := range oldOwner {
+		s[int(oldOwner[i])*nparts+int(newPart[i])] += w[i]
+		total += w[i]
+	}
+	// Greedy maximum matching on the similarity matrix (PLUM's heuristic;
+	// ties broken by lower processor, then lower part, for determinism).
+	assign := make([]int32, nparts)
+	procTaken := make([]bool, nparts)
+	partTaken := make([]bool, nparts)
+	for k := 0; k < nparts; k++ {
+		bestP, bestQ, bestW := -1, -1, -1.0
+		for p := 0; p < nparts; p++ {
+			if procTaken[p] {
+				continue
+			}
+			row := s[p*nparts : (p+1)*nparts]
+			for q := 0; q < nparts; q++ {
+				if partTaken[q] {
+					continue
+				}
+				if row[q] > bestW {
+					bestP, bestQ, bestW = p, q, row[q]
+				}
+			}
+		}
+		assign[bestQ] = int32(bestP)
+		procTaken[bestP] = true
+		partTaken[bestQ] = true
+	}
+	return assign, migrationStats(oldOwner, newPart, w, assign, nparts, total)
+}
+
+// IdentityAssign is the no-remap baseline: part q goes to processor q.
+func IdentityAssign(nparts int) []int32 {
+	a := make([]int32, nparts)
+	for i := range a {
+		a[i] = int32(i)
+	}
+	return a
+}
+
+// MigrationStats computes the movement statistics of an arbitrary
+// assignment, for comparing Remap against the identity baseline.
+func MigrationStats(oldOwner, newPart []int32, w []float64, assign []int32, nparts int) RemapStats {
+	total := 0.0
+	for _, wi := range w {
+		total += wi
+	}
+	return migrationStats(oldOwner, newPart, w, assign, nparts, total)
+}
+
+func migrationStats(oldOwner, newPart []int32, w []float64, assign []int32, nparts int, total float64) RemapStats {
+	var st RemapStats
+	out := make([]float64, nparts)
+	in := make([]float64, nparts)
+	for i := range oldOwner {
+		dst := assign[newPart[i]]
+		if dst != oldOwner[i] {
+			st.TotalW += w[i]
+			out[oldOwner[i]] += w[i]
+			in[dst] += w[i]
+		}
+	}
+	for p := 0; p < nparts; p++ {
+		if out[p] > st.MaxOutW {
+			st.MaxOutW = out[p]
+		}
+		if in[p] > st.MaxInW {
+			st.MaxInW = in[p]
+		}
+	}
+	if total > 0 {
+		st.Retained = 1 - st.TotalW/total
+	} else {
+		st.Retained = 1
+	}
+	return st
+}

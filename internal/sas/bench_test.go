@@ -1,0 +1,50 @@
+package sas
+
+import (
+	"testing"
+
+	"o2k/internal/sim"
+)
+
+// Host-performance microbenchmarks of the CC-SAS runtime.
+
+func BenchmarkBarrierWithCoherence(b *testing.B) {
+	w, g, _ := world(8)
+	a := NewArray[float64](w, 8192)
+	a.PlaceBlock()
+	b.ResetTimer()
+	g.Run(func(p *sim.Proc) {
+		c := w.Ctx(p)
+		lo, hi := c.Range(8192)
+		for i := 0; i < b.N; i++ {
+			for v := lo; v < hi; v += 16 {
+				a.Store(p, v, float64(i))
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func BenchmarkLockHandoff(b *testing.B) {
+	w, g, _ := world(4)
+	l := NewLock(w)
+	b.ResetTimer()
+	g.Run(func(p *sim.Proc) {
+		c := w.Ctx(p)
+		for i := 0; i < b.N; i++ {
+			l.Acquire(c)
+			l.Release(c)
+		}
+	})
+}
+
+func BenchmarkExscan8(b *testing.B) {
+	w, g, _ := world(8)
+	b.ResetTimer()
+	g.Run(func(p *sim.Proc) {
+		c := w.Ctx(p)
+		for i := 0; i < b.N; i++ {
+			Exscan(c, c.ID())
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package sas_test
+
+import (
+	"fmt"
+
+	"o2k/internal/machine"
+	"o2k/internal/numa"
+	"o2k/internal/sas"
+	"o2k/internal/sim"
+)
+
+// A minimal CC-SAS program: a shared array, a static loop split, and a
+// barrier; there is no communication code at all — the memory system moves
+// the data (and the cost model charges for it).
+func Example() {
+	m := machine.MustNew(machine.Default(4))
+	w := sas.NewWorld(m, numa.NewSpace(m))
+	a := sas.NewArray[int64](w, 100)
+	a.PlaceBlock()
+	g := sim.NewGroup(4)
+	g.Run(func(p *sim.Proc) {
+		c := w.Ctx(p)
+		lo, hi := c.Range(100)
+		for i := lo; i < hi; i++ {
+			a.Store(p, i, int64(i))
+		}
+		c.Barrier()
+		sum := sas.Allreduce1(c, int64(hi-lo), sas.OpSum)
+		if c.ID() == 0 {
+			fmt.Println("elements written:", sum)
+		}
+	})
+	// Output: elements written: 100
+}

@@ -1,0 +1,54 @@
+package shm
+
+import (
+	"testing"
+
+	"o2k/internal/sim"
+)
+
+// Host-performance microbenchmarks of the SHMEM runtime.
+
+func BenchmarkPut(b *testing.B) {
+	w, g, _ := world(2)
+	s := AllocWorld[float64](w, 4096)
+	payload := make([]float64, 64)
+	b.ResetTimer()
+	g.Run(func(p *sim.Proc) {
+		pe := w.PE(p)
+		if pe.ID() != 0 {
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			Put(pe, s, 1, 0, payload)
+		}
+	})
+}
+
+func BenchmarkGet(b *testing.B) {
+	w, g, _ := world(2)
+	s := AllocWorld[float64](w, 4096)
+	b.ResetTimer()
+	g.Run(func(p *sim.Proc) {
+		pe := w.PE(p)
+		if pe.ID() != 0 {
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			Get[float64](pe, s, 1, 0, 64)
+		}
+	})
+}
+
+func BenchmarkBarrierWithPuts(b *testing.B) {
+	w, g, _ := world(8)
+	s := AllocWorld[float64](w, 4096)
+	payload := make([]float64, 16)
+	b.ResetTimer()
+	g.Run(func(p *sim.Proc) {
+		pe := w.PE(p)
+		for i := 0; i < b.N; i++ {
+			Put(pe, s, (pe.ID()+1)%8, pe.ID()*16, payload)
+			pe.Barrier()
+		}
+	})
+}

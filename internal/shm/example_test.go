@@ -1,0 +1,30 @@
+package shm_test
+
+import (
+	"fmt"
+
+	"o2k/internal/machine"
+	"o2k/internal/numa"
+	"o2k/internal/shm"
+	"o2k/internal/sim"
+)
+
+// A minimal SHMEM program: symmetric allocation, a one-sided put, a barrier
+// for completion, and a read on the target side.
+func Example() {
+	m := machine.MustNew(machine.Default(2))
+	w := shm.NewWorld(m, numa.NewSpace(m))
+	s := shm.AllocWorld[float64](w, 8)
+	g := sim.NewGroup(2)
+	g.Run(func(p *sim.Proc) {
+		pe := w.PE(p)
+		if pe.ID() == 0 {
+			shm.Put(pe, s, 1, 3, []float64{2.5}) // one-sided: no receive code
+		}
+		pe.Barrier()
+		if pe.ID() == 1 {
+			fmt.Println("PE 1 sees", s.Local(pe).Load(p, 3))
+		}
+	})
+	// Output: PE 1 sees 2.5
+}

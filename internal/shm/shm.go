@@ -1,0 +1,278 @@
+// Package shm is the one-sided (SGI/Cray SHMEM-style) programming-model
+// runtime: a symmetric heap, remote Put/Get, remote atomics, fences, and
+// collectives.
+//
+// The defining contrast with the mp package is cost structure: a put is a
+// processor-initiated remote store stream with sub-microsecond overhead and
+// no receiver involvement, so fine-grained irregular communication is far
+// cheaper than under two-sided message passing — but the programmer must
+// manage symmetric allocation and explicit completion (fence/barrier), which
+// shows up in the programming-effort comparison.
+//
+// Completion semantics: data written by Put becomes safely readable by the
+// target after the next Barrier (or after the initiator's Quiet plus an
+// application-level ordering, as in real SHMEM). Target-side cache lines
+// covering put ranges are invalidated at the barrier, so the target's next
+// accesses take (local) misses — the same memory-system behaviour the real
+// machine exhibits.
+package shm
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+
+	"o2k/internal/machine"
+	"o2k/internal/numa"
+	"o2k/internal/sim"
+)
+
+// World is the shared context of one SHMEM program: machine, memory space,
+// synchronization structures, and the put log for barrier-time invalidation.
+type World struct {
+	M  *machine.Machine
+	Sp *numa.Space
+
+	barrier *sim.Barrier
+	reducer *sim.Reducer
+
+	mu       sync.Mutex
+	putLines map[int][]uint64 // target PE -> global line addresses put this epoch
+	atomMu   sync.Mutex       // serializes remote atomics
+}
+
+// NewWorld creates the SHMEM context for all processors of m, allocating
+// symmetric memory out of sp.
+func NewWorld(m *machine.Machine, sp *numa.Space) *World {
+	w := &World{M: m, Sp: sp, putLines: make(map[int][]uint64)}
+	stages := m.LogStages(m.Procs())
+	w.barrier = sim.NewBarrierHook(m.Procs(),
+		func(int) sim.Time { return sim.Time(stages) * m.Cfg.ShmBarrierHop },
+		w.completePuts)
+	w.reducer = sim.NewReducer(m.Procs(), func(int) sim.Time {
+		return sim.Time(stages) * m.Cfg.ShmBarrierHop
+	})
+	return w
+}
+
+// completePuts runs at the barrier rendezvous: invalidate target-side cached
+// lines covered by this epoch's puts, charging each target the invalidation
+// processing time.
+func (w *World) completePuts() []sim.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.putLines) == 0 {
+		return nil
+	}
+	pen := make([]sim.Time, w.M.Procs())
+	for pe, lines := range w.putLines {
+		n := w.Sp.InvalidateLines(pe, lines)
+		pen[pe] += sim.Time(n) * w.M.Cfg.CohInvalPerLine
+		delete(w.putLines, pe)
+	}
+	return pen
+}
+
+// logPut records that lines [lo,hi) of global line space were put to pe.
+func (w *World) logPut(pe int, lo, hi uint64) {
+	w.mu.Lock()
+	ls := w.putLines[pe]
+	for l := lo; l < hi; l++ {
+		ls = append(ls, l)
+	}
+	w.putLines[pe] = ls
+	w.mu.Unlock()
+}
+
+// PE binds processor p to the world, yielding the per-processing-element
+// handle (SHMEM's "PE" is its rank).
+func (w *World) PE(p *sim.Proc) *PE {
+	if p.ID() < 0 || p.ID() >= w.M.Procs() {
+		panic(fmt.Sprintf("shm: proc %d outside world of size %d", p.ID(), w.M.Procs()))
+	}
+	return &PE{W: w, P: p}
+}
+
+// PE is one processing element of the SHMEM program.
+type PE struct {
+	W *World
+	P *sim.Proc
+}
+
+// ID returns the PE number.
+func (pe *PE) ID() int { return pe.P.ID() }
+
+// Size returns the number of PEs.
+func (pe *PE) Size() int { return pe.W.M.Procs() }
+
+// Barrier synchronizes all PEs and completes all outstanding puts.
+func (pe *PE) Barrier() {
+	pe.P.Collectives++
+	pe.W.barrier.Wait(pe.P)
+}
+
+// Quiet orders the PE's outstanding puts (shmem_quiet). In this conservative
+// model puts are already delivered in program order, so Quiet only charges
+// its completion cost.
+func (pe *PE) Quiet() {
+	prev := pe.P.SetPhase(sim.PhaseSync)
+	pe.P.Advance(pe.W.M.Cfg.ShmFenceNS)
+	pe.P.SetPhase(prev)
+}
+
+// Fence is shmem_fence; same conservative model as Quiet.
+func (pe *PE) Fence() { pe.Quiet() }
+
+// Sym is a symmetric-heap allocation: one block of n elements on every PE,
+// all addressable remotely. The handle is identical on every PE (symmetric
+// addresses), matching SHMEM's programming model.
+type Sym[T any] struct {
+	w     *World
+	parts []*numa.Array[T]
+}
+
+// Alloc collectively allocates a symmetric array of n elements per PE. Every
+// PE must call it at the same point (as with shmalloc).
+func Alloc[T any](pe *PE, n int) *Sym[T] {
+	res := pe.W.reducer.Do(pe.P, nil, func([]any) any {
+		s := &Sym[T]{w: pe.W, parts: make([]*numa.Array[T], pe.Size())}
+		for i := range s.parts {
+			s.parts[i] = numa.NewPrivate[T](pe.W.Sp, i, n)
+		}
+		return s
+	})
+	s := res.(*Sym[T])
+	var z T
+	pe.P.AllocBytes += uint64(n) * uint64(unsafe.Sizeof(z))
+	return s
+}
+
+// AllocWorld allocates a symmetric array outside the SPMD region (the
+// moral equivalent of static symmetric data segments, which SHMEM programs
+// rely on for setup). Allocation order is the caller's program order, so
+// addresses — and therefore cache behaviour — are deterministic.
+func AllocWorld[T any](w *World, n int) *Sym[T] {
+	s := &Sym[T]{w: w, parts: make([]*numa.Array[T], w.M.Procs())}
+	for i := range s.parts {
+		s.parts[i] = numa.NewPrivate[T](w.Sp, i, n)
+	}
+	return s
+}
+
+// Local returns this PE's own block for costed local access.
+func (s *Sym[T]) Local(pe *PE) *numa.Array[T] { return s.parts[pe.ID()] }
+
+// LocalOf returns PE p's block (for verification and result collection only;
+// model code must use Put/Get for remote blocks).
+func (s *Sym[T]) LocalOf(p int) *numa.Array[T] { return s.parts[p] }
+
+// Len returns the per-PE element count.
+func (s *Sym[T]) Len() int { return s.parts[0].Len() }
+
+// Put copies src into the target PE's block at offset off. The initiator
+// pays overhead + per-byte + wire time; target-side visibility completes at
+// the next Barrier.
+func Put[T any](pe *PE, s *Sym[T], target, off int, src []T) {
+	if len(src) == 0 {
+		return
+	}
+	w := pe.W
+	var z T
+	bytes := len(src) * int(unsafe.Sizeof(z))
+	cfg := &w.M.Cfg
+	cost := cfg.ShmPutOvNS + sim.Time(bytes)*cfg.ShmPerByteNS
+	if target != pe.ID() {
+		cost += w.M.Wire(bytes, w.M.Hops(pe.ID(), target))
+	}
+	pe.P.Advance(cost)
+	pe.P.BytesSent += uint64(bytes)
+	pe.P.MsgsSent++
+
+	dst := s.parts[target]
+	copy(dst.Data()[off:off+len(src)], src)
+	if target != pe.ID() {
+		lo, hi := dst.LineRange(off, off+len(src))
+		w.logPut(target, lo, hi)
+	}
+}
+
+// PutIdx is the indexed put (shmem_ixput): vals[i] is written to element
+// idx[i] of the target PE's block, as one vectored transfer. The initiator
+// pays a single overhead plus the per-byte and wire costs; target-side lines
+// covering the touched elements are invalidated at the next Barrier.
+func PutIdx[T any](pe *PE, s *Sym[T], target int, idx []int32, vals []T) {
+	if len(idx) != len(vals) {
+		panic("shm: PutIdx index/value length mismatch")
+	}
+	if len(idx) == 0 {
+		return
+	}
+	w := pe.W
+	var z T
+	bytes := len(vals) * int(unsafe.Sizeof(z))
+	cfg := &w.M.Cfg
+	cost := cfg.ShmPutOvNS + sim.Time(bytes)*cfg.ShmPerByteNS
+	if target != pe.ID() {
+		cost += w.M.Wire(bytes, w.M.Hops(pe.ID(), target))
+	}
+	pe.P.Advance(cost)
+	pe.P.BytesSent += uint64(bytes)
+	pe.P.MsgsSent++
+
+	dst := s.parts[target]
+	data := dst.Data()
+	for i, ix := range idx {
+		data[ix] = vals[i]
+	}
+	if target != pe.ID() {
+		w.mu.Lock()
+		ls := w.putLines[target]
+		for _, ix := range idx {
+			lo, hi := dst.LineRange(int(ix), int(ix)+1)
+			for l := lo; l < hi; l++ {
+				ls = append(ls, l)
+			}
+		}
+		w.putLines[target] = ls
+		w.mu.Unlock()
+	}
+}
+
+// Get copies n elements from the target PE's block at offset off into a
+// fresh slice. Gets are synchronous: the initiator pays the round trip.
+func Get[T any](pe *PE, s *Sym[T], target, off, n int) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	w := pe.W
+	var z T
+	bytes := n * int(unsafe.Sizeof(z))
+	cfg := &w.M.Cfg
+	cost := cfg.ShmGetOvNS + sim.Time(bytes)*cfg.ShmPerByteNS
+	if target != pe.ID() {
+		h := w.M.Hops(pe.ID(), target)
+		cost += w.M.Wire(0, h) + w.M.Wire(bytes, h) // request + reply
+	}
+	pe.P.Advance(cost)
+	pe.P.BytesSent += uint64(bytes)
+	pe.P.MsgsSent++
+	copy(out, s.parts[target].Data()[off:off+n])
+	return out
+}
+
+// FetchAdd atomically adds delta to element off of the target PE's block and
+// returns the previous value (shmem_fadd). Note: concurrent FetchAdds from
+// different PEs are serialized in host order, so return values are only
+// deterministic when the application imposes an order.
+func FetchAdd(pe *PE, s *Sym[int64], target, off int, delta int64) int64 {
+	w := pe.W
+	pe.P.Advance(w.M.Cfg.ShmAtomicNS + w.M.Wire(8, w.M.Hops(pe.ID(), target)))
+	pe.P.MsgsSent++
+	w.atomMu.Lock()
+	d := s.parts[target].Data()
+	old := d[off]
+	d[off] = old + delta
+	w.atomMu.Unlock()
+	return old
+}

@@ -1,0 +1,154 @@
+package sim
+
+import "sync"
+
+// Barrier is a reusable (cyclic) barrier that also merges virtual clocks:
+// every participant leaves at the maximum entry time plus a configurable
+// cost. Wait time is charged to PhaseSync.
+//
+// Unlike Proc, a Barrier is shared and safe for concurrent use — it is the
+// synchronization point between processor goroutines.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	waiting int
+	gen     uint64
+	maxT    Time
+	relT    Time
+	pen     []Time
+	cost    func(n int) Time
+	hook    func() []Time
+}
+
+// NewBarrier creates a barrier for n participants. cost maps the group size
+// to the virtual latency of one barrier episode; nil means a free barrier.
+func NewBarrier(n int, cost func(n int) Time) *Barrier {
+	return NewBarrierHook(n, cost, nil)
+}
+
+// NewBarrierHook is NewBarrier with a rendezvous hook: hook runs exactly once
+// per barrier episode, by the last arriver, while every other participant is
+// still blocked — the safe point for cross-processor state merges (coherence,
+// put-completion). It may return a per-participant virtual-time penalty
+// (indexed by Proc.ID) added to each participant's release time, or nil.
+func NewBarrierHook(n int, cost func(n int) Time, hook func() []Time) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier size must be positive")
+	}
+	b := &Barrier{n: n, cost: cost, hook: hook}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants have arrived, then advances p's clock
+// to max(entry clocks) + cost(n) (+ any hook penalty). The advance is charged
+// to PhaseSync.
+func (b *Barrier) Wait(p *Proc) {
+	b.mu.Lock()
+	if p.clock > b.maxT {
+		b.maxT = p.clock
+	}
+	b.waiting++
+	if b.waiting == b.n {
+		rel := b.maxT
+		if b.cost != nil {
+			rel += b.cost(b.n)
+		}
+		b.relT = rel
+		b.pen = nil
+		if b.hook != nil {
+			b.pen = b.hook()
+		}
+		b.waiting = 0
+		b.maxT = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		gen := b.gen
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	rel := b.relT
+	if b.pen != nil && p.id < len(b.pen) {
+		rel += b.pen[p.id]
+	}
+	b.mu.Unlock()
+
+	prev := p.SetPhase(PhaseSync)
+	p.AdvanceTo(rel)
+	p.SetPhase(prev)
+}
+
+// Reducer merges one value per participant at a barrier-like rendezvous and
+// hands every participant the combined result. It is the building block for
+// deterministic cross-processor reductions: values are combined in rank
+// order, so floating-point results are identical on every run.
+type Reducer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	filled int
+	gen    uint64
+	slots  []any
+	result any
+	maxT   Time
+	relT   Time
+	cost   func(n int) Time
+}
+
+// NewReducer creates a rendezvous reducer for n participants with the given
+// virtual cost function (nil means free).
+func NewReducer(n int, cost func(n int) Time) *Reducer {
+	if n <= 0 {
+		panic("sim: reducer size must be positive")
+	}
+	r := &Reducer{n: n, slots: make([]any, n), cost: cost}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Do deposits v for rank p.ID(), waits for all participants, and returns
+// combine(slots...) evaluated once, in rank order, by the last arriver.
+// Clocks merge exactly as in Barrier.Wait; time is charged to PhaseSync.
+func (r *Reducer) Do(p *Proc, v any, combine func(vals []any) any) any {
+	return r.DoAs(p, p.id%r.n, v, combine)
+}
+
+// DoAs is Do with an explicit slot index, for participants whose logical
+// rank differs from their processor ID (e.g. per-node representatives in a
+// hybrid program).
+func (r *Reducer) DoAs(p *Proc, slot int, v any, combine func(vals []any) any) any {
+	r.mu.Lock()
+	r.slots[slot] = v
+	if p.clock > r.maxT {
+		r.maxT = p.clock
+	}
+	r.filled++
+	if r.filled == r.n {
+		r.result = combine(r.slots)
+		rel := r.maxT
+		if r.cost != nil {
+			rel += r.cost(r.n)
+		}
+		r.relT = rel
+		r.filled = 0
+		r.maxT = 0
+		r.gen++
+		r.cond.Broadcast()
+	} else {
+		gen := r.gen
+		for gen == r.gen {
+			r.cond.Wait()
+		}
+	}
+	res := r.result
+	rel := r.relT
+	r.mu.Unlock()
+
+	prev := p.SetPhase(PhaseSync)
+	p.AdvanceTo(rel)
+	p.SetPhase(prev)
+	return res
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Phase labels the activity that virtual time is attributed to. The set is
+// shared by every application so that phase-breakdown figures are comparable
+// across programming models.
+type Phase uint8
+
+// Phases of execution. Applications attribute time via Proc.SetPhase.
+const (
+	PhaseCompute   Phase = iota // numerical work (solver, force evaluation)
+	PhaseComm                   // explicit communication (messages, puts/gets)
+	PhaseSync                   // barriers, fences, locks, waiting
+	PhaseMark                   // adaptive: error estimation + edge marking
+	PhaseRefine                 // adaptive: structural refinement/coarsening
+	PhasePartition              // repartitioning computation
+	PhaseRemap                  // data migration after repartitioning
+	PhaseTree                   // N-body: tree construction
+	PhaseOther                  // anything else
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"compute", "comm", "sync", "mark", "refine", "partition", "remap", "tree", "other",
+}
+
+// String returns the lowercase phase name.
+func (ph Phase) String() string {
+	if int(ph) < len(phaseNames) {
+		return phaseNames[ph]
+	}
+	return fmt.Sprintf("phase(%d)", int(ph))
+}
+
+// Counters aggregates event counts on one simulated processor. They feed the
+// traffic and memory-system tables of the evaluation.
+type Counters struct {
+	CacheHits    uint64 // loads/stores satisfied by the simulated cache
+	LocalMisses  uint64 // misses homed on the local node
+	RemoteMisses uint64 // misses homed on a remote node
+	CohMisses    uint64 // misses caused by coherence invalidations
+	BytesSent    uint64 // payload bytes pushed into the network
+	MsgsSent     uint64 // point-to-point messages or one-sided transfers
+	Collectives  uint64 // collective operations entered
+	LockOps      uint64 // lock acquisitions
+	AllocBytes   uint64 // model-visible memory allocated by this proc
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other *Counters) {
+	c.CacheHits += other.CacheHits
+	c.LocalMisses += other.LocalMisses
+	c.RemoteMisses += other.RemoteMisses
+	c.CohMisses += other.CohMisses
+	c.BytesSent += other.BytesSent
+	c.MsgsSent += other.MsgsSent
+	c.Collectives += other.Collectives
+	c.LockOps += other.LockOps
+	c.AllocBytes += other.AllocBytes
+}
+
+// Proc is one simulated processor: a private virtual clock plus per-phase
+// time attribution and event counters. A Proc is owned by exactly one
+// goroutine for the duration of a Group.Run; its methods are not safe for
+// concurrent use by multiple goroutines.
+type Proc struct {
+	id        int
+	clock     Time
+	phase     Phase
+	phaseTime [NumPhases]Time
+	Counters
+
+	// Optional phase-timeline tracing (see Group.EnableTrace).
+	tracing  bool
+	trace    []Segment
+	segStart Time
+	segPhase Phase
+}
+
+// ID returns the processor's rank within its group, in [0, N).
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the processor's current virtual time.
+func (p *Proc) Now() Time { return p.clock }
+
+// Phase returns the phase virtual time is currently attributed to.
+func (p *Proc) Phase() Phase { return p.phase }
+
+// SetPhase switches time attribution to ph and returns the previous phase,
+// enabling the idiom:
+//
+//	defer p.SetPhase(p.SetPhase(sim.PhaseComm))
+func (p *Proc) SetPhase(ph Phase) Phase {
+	prev := p.phase
+	if ph != prev {
+		p.phase = ph
+		p.flushSegment()
+	}
+	return prev
+}
+
+// Advance charges d of virtual time to the current phase. Negative d panics:
+// virtual clocks never run backwards.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: proc %d advanced by negative time %d", p.id, d))
+	}
+	p.clock += d
+	p.phaseTime[p.phase] += d
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future, charging the
+// gap to the current phase. It is a no-op when t is in the past: clock merges
+// are conservative maxima.
+func (p *Proc) AdvanceTo(t Time) {
+	if t > p.clock {
+		p.Advance(t - p.clock)
+	}
+}
+
+// PhaseTime reports the total virtual time attributed to ph so far.
+func (p *Proc) PhaseTime(ph Phase) Time { return p.phaseTime[ph] }
+
+// PhaseTimes returns a copy of all per-phase accumulations.
+func (p *Proc) PhaseTimes() [NumPhases]Time { return p.phaseTime }
+
+// Group is a gang of simulated processors that execute one SPMD program.
+type Group struct {
+	procs []*Proc
+}
+
+// NewGroup creates n processors with zeroed clocks, ranked 0..n-1.
+func NewGroup(n int) *Group {
+	if n <= 0 {
+		panic("sim: group size must be positive")
+	}
+	g := &Group{procs: make([]*Proc, n)}
+	for i := range g.procs {
+		g.procs[i] = &Proc{id: i}
+	}
+	return g
+}
+
+// Size returns the number of processors in the group.
+func (g *Group) Size() int { return len(g.procs) }
+
+// Proc returns processor i.
+func (g *Group) Proc(i int) *Proc { return g.procs[i] }
+
+// Run executes body once per processor, each on its own goroutine, and
+// returns when all have finished. This is the SPMD entry point: body receives
+// the Proc it owns and may use it with any of the model runtimes.
+func (g *Group) Run(body func(p *Proc)) {
+	var wg sync.WaitGroup
+	wg.Add(len(g.procs))
+	for _, p := range g.procs {
+		go func(p *Proc) {
+			defer wg.Done()
+			body(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// MaxTime returns the latest virtual clock in the group — the simulated
+// wall-clock time of the parallel execution.
+func (g *Group) MaxTime() Time {
+	var m Time
+	for _, p := range g.procs {
+		if p.clock > m {
+			m = p.clock
+		}
+	}
+	return m
+}
+
+// MaxPhaseTime returns, for each phase, the maximum per-processor time — the
+// critical-path view used in phase-breakdown figures.
+func (g *Group) MaxPhaseTime() [NumPhases]Time {
+	var out [NumPhases]Time
+	for _, p := range g.procs {
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			if p.phaseTime[ph] > out[ph] {
+				out[ph] = p.phaseTime[ph]
+			}
+		}
+	}
+	return out
+}
+
+// AvgPhaseTime returns the per-phase time averaged over processors.
+func (g *Group) AvgPhaseTime() [NumPhases]Time {
+	var out [NumPhases]Time
+	for _, p := range g.procs {
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			out[ph] += p.phaseTime[ph]
+		}
+	}
+	for ph := range out {
+		out[ph] /= Time(len(g.procs))
+	}
+	return out
+}
+
+// TotalCounters sums event counters over all processors.
+func (g *Group) TotalCounters() Counters {
+	var c Counters
+	for _, p := range g.procs {
+		c.Add(&p.Counters)
+	}
+	return c
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceSegments(t *testing.T) {
+	g := NewGroup(2)
+	g.EnableTrace()
+	g.Run(func(p *Proc) {
+		p.Advance(100) // compute
+		prev := p.SetPhase(PhaseComm)
+		p.Advance(50)
+		p.SetPhase(prev)
+		p.Advance(25)
+	})
+	segs := g.Trace(0)
+	if len(segs) != 3 {
+		t.Fatalf("segments: %v", segs)
+	}
+	want := []Segment{
+		{PhaseCompute, 0, 100},
+		{PhaseComm, 100, 150},
+		{PhaseCompute, 150, 175},
+	}
+	for i, s := range segs {
+		if s != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func TestTraceCoversClock(t *testing.T) {
+	g := NewGroup(4)
+	g.EnableTrace()
+	b := NewBarrier(4, func(int) Time { return 10 })
+	g.Run(func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Advance(Time(10 * (p.ID() + 1)))
+			prev := p.SetPhase(PhaseComm)
+			p.Advance(5)
+			p.SetPhase(prev)
+			b.Wait(p)
+		}
+	})
+	for i := 0; i < 4; i++ {
+		segs := g.Trace(i)
+		var covered Time
+		last := Time(0)
+		for _, s := range segs {
+			if s.Start != last {
+				t.Fatalf("proc %d: gap before %+v", i, s)
+			}
+			if s.End <= s.Start {
+				t.Fatalf("proc %d: empty segment %+v", i, s)
+			}
+			covered += s.End - s.Start
+			last = s.End
+		}
+		if last != g.Proc(i).Now() {
+			t.Fatalf("proc %d: trace ends at %v, clock %v", i, last, g.Proc(i).Now())
+		}
+		if covered != g.Proc(i).Now() {
+			t.Fatalf("proc %d: trace covers %v of %v", i, covered, g.Proc(i).Now())
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	g := NewGroup(1)
+	g.Run(func(p *Proc) { p.Advance(10) })
+	if segs := g.Trace(0); segs != nil {
+		t.Fatalf("trace recorded without enable: %v", segs)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	g := NewGroup(3)
+	g.EnableTrace()
+	b := NewBarrier(3, nil)
+	g.Run(func(p *Proc) {
+		p.Advance(Time(100 * (p.ID() + 1)))
+		prev := p.SetPhase(PhaseComm)
+		p.Advance(60)
+		p.SetPhase(prev)
+		b.Wait(p)
+	})
+	out := RenderTimeline(g, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // legend + 3 procs
+		t.Fatalf("timeline lines: %d\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "C") || !strings.Contains(lines[1], "m") {
+		t.Fatalf("proc 0 row missing phases: %q", lines[1])
+	}
+	// Proc 0 finished early and waited: its row must contain sync glyphs.
+	if !strings.Contains(lines[1], ".") {
+		t.Fatalf("proc 0 row missing sync: %q", lines[1])
+	}
+	if RenderTimeline(NewGroup(1), 20) != "(empty timeline)\n" {
+		t.Fatal("empty timeline rendering wrong")
+	}
+}
