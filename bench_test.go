@@ -16,6 +16,7 @@ import (
 
 	"o2k/internal/core"
 	"o2k/internal/experiments"
+	"o2k/internal/runner"
 )
 
 var printOnce sync.Map
@@ -92,4 +93,16 @@ func BenchmarkFig13Hybrid(b *testing.B) {
 
 func BenchmarkFig14ConjugateGradient(b *testing.B) {
 	runExperiment(b, "fig14", experiments.Fig14)
+}
+
+// BenchmarkAllShared measures the whole suite on one shared cell engine —
+// the `o2kbench -exp all` path, where the parallel runner simulates each
+// unique (app, model, machine, workload, P) cell once and every experiment
+// assembles from the shared cache. Contrast with the sum of the
+// per-artifact benchmarks above, which each pay for their own cells.
+func BenchmarkAllShared(b *testing.B) {
+	o := opts(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunAll(runner.New(o.Jobs), o)
+	}
 }

@@ -3,12 +3,17 @@
 // Usage:
 //
 //	o2kbench [-exp name] [-quick] [-procs 1,2,4,8,16,32,64] [-format text|json]
+//	         [-jobs N] [-runreport] [-list]
 //
-// Experiments (see DESIGN.md §5): table1, mesh-speedup (fig2),
-// nbody-speedup (fig3), breakdown (fig4), loc (table5), memory (table6),
-// latency-sweep (fig7), loadbalance (fig8), traffic (table9),
-// regular-control (fig10), page-migration (fig11), machine-sweep (fig12),
-// hybrid (fig13), cg (fig14), verdicts, all.
+// Experiments are resolved through the experiments registry: every
+// experiment answers to its semantic name (mesh-speedup) and its paper
+// alias (fig2); `-list` prints the full index, and `all` runs everything.
+// Simulations execute on a shared parallel cell engine (-jobs workers,
+// default GOMAXPROCS) that memoizes each unique (application, model,
+// machine, workload, P) cell, so `-exp all` costs one simulation per
+// unique cell, not one per experiment that mentions it. `-runreport`
+// prints the engine's cell/cache statistics to stderr — stdout carries
+// only the tables and stays byte-identical at any -jobs value.
 package main
 
 import (
@@ -21,45 +26,20 @@ import (
 
 	"o2k/internal/core"
 	"o2k/internal/experiments"
+	"o2k/internal/runner"
 )
 
-// tablesFor resolves an experiment name to its tables.
-func tablesFor(exp string, o experiments.Opts) ([]*core.Table, error) {
-	switch exp {
-	case "table1":
-		return []*core.Table{experiments.Table1(o)}, nil
-	case "mesh-speedup", "fig2":
-		return []*core.Table{experiments.Fig2(o)}, nil
-	case "nbody-speedup", "fig3":
-		return []*core.Table{experiments.Fig3(o)}, nil
-	case "breakdown", "fig4":
-		return []*core.Table{experiments.Fig4(o)}, nil
-	case "loc", "table5":
-		return []*core.Table{experiments.Table5()}, nil
-	case "memory", "table6":
-		return []*core.Table{experiments.Table6(o)}, nil
-	case "latency-sweep", "fig7":
-		return []*core.Table{experiments.Fig7(o)}, nil
-	case "loadbalance", "fig8":
-		return []*core.Table{experiments.Fig8(o)}, nil
-	case "traffic", "table9":
-		return []*core.Table{experiments.Table9(o)}, nil
-	case "regular-control", "fig10":
-		return []*core.Table{experiments.Fig10(o)}, nil
-	case "page-migration", "fig11":
-		return []*core.Table{experiments.Fig11(o)}, nil
-	case "machine-sweep", "fig12":
-		return []*core.Table{experiments.Fig12(o)}, nil
-	case "hybrid", "fig13":
-		return []*core.Table{experiments.Fig13(o)}, nil
-	case "cg", "fig14":
-		return []*core.Table{experiments.Fig14(o)}, nil
-	case "verdicts":
-		return []*core.Table{experiments.Verdicts(o)}, nil
-	case "all":
-		return experiments.All(o), nil
+// listTable renders the experiment index from the registry.
+func listTable() *core.Table {
+	t := &core.Table{
+		Title:  "Experiments",
+		Header: []string{"name", "aliases", "description"},
 	}
-	return nil, fmt.Errorf("unknown experiment %q", exp)
+	for _, s := range experiments.List() {
+		t.AddRow(s.Name, strings.Join(s.Aliases, ","), s.Title)
+	}
+	t.AddRow("all", "", "every non-standalone experiment above, in index order")
+	return t
 }
 
 // parseProcs parses a comma-separated processor-count list.
@@ -76,11 +56,19 @@ func parseProcs(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (see doc comment; 'all' runs everything)")
+	exp := flag.String("exp", "all", "experiment to run (-list for the index; 'all' runs everything)")
 	quick := flag.Bool("quick", false, "reduced workloads and processor counts")
 	procs := flag.String("procs", "", "comma-separated processor counts (overrides default)")
 	format := flag.String("format", "text", "output format: text or json")
+	jobs := flag.Int("jobs", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+	runreport := flag.Bool("runreport", false, "print cell cache/timing report to stderr (JSON with -format json)")
+	list := flag.Bool("list", false, "list every experiment name, its aliases, and its description")
 	flag.Parse()
+
+	if *list {
+		fmt.Print(listTable().String())
+		return
+	}
 
 	o := experiments.DefaultOpts()
 	if *quick {
@@ -94,8 +82,10 @@ func main() {
 		}
 		o.Procs = ps
 	}
+	o.Jobs = *jobs
 
-	tables, err := tablesFor(*exp, o)
+	eng := runner.New(o.Jobs)
+	tables, err := experiments.RunOn(eng, *exp, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "o2kbench:", err)
 		os.Exit(2)
@@ -118,5 +108,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "o2kbench: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+
+	if *runreport {
+		r := eng.Report()
+		if *format == "json" {
+			enc := json.NewEncoder(os.Stderr)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintln(os.Stderr, "o2kbench:", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Fprint(os.Stderr, "\n"+r.Table().String())
+		}
 	}
 }

@@ -7,17 +7,33 @@ import (
 	"o2k/internal/experiments"
 )
 
-func TestTablesForAllNames(t *testing.T) {
+func TestRegistryResolvesAllNames(t *testing.T) {
 	o := experiments.QuickOpts()
 	o.Procs = []int{1, 2}
-	for _, name := range []string{"table1", "loc", "fig2", "mesh-speedup"} {
-		tabs, err := tablesFor(name, o)
+	for _, name := range []string{"table1", "workloads", "loc", "fig2", "mesh-speedup"} {
+		tabs, err := experiments.Run(name, o)
 		if err != nil || len(tabs) == 0 {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
-	if _, err := tablesFor("nope", o); err == nil {
+	if _, err := experiments.Run("nope", o); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestListTableCoversRegistry(t *testing.T) {
+	tb := listTable()
+	specs := experiments.List()
+	if len(tb.Rows) != len(specs)+1 { // +1 for the "all" line
+		t.Fatalf("list has %d rows, want %d", len(tb.Rows), len(specs)+1)
+	}
+	for i, s := range specs {
+		if tb.Rows[i][0] != s.Name {
+			t.Fatalf("row %d = %q, want %q", i, tb.Rows[i][0], s.Name)
+		}
+	}
+	if tb.Rows[len(tb.Rows)-1][0] != "all" {
+		t.Fatal(`list must end with the "all" pseudo-experiment`)
 	}
 }
 
@@ -36,7 +52,7 @@ func TestParseProcs(t *testing.T) {
 func TestTablesSerializeToJSON(t *testing.T) {
 	o := experiments.QuickOpts()
 	o.Procs = []int{1, 2}
-	tabs, err := tablesFor("table1", o)
+	tabs, err := experiments.Run("table1", o)
 	if err != nil {
 		t.Fatal(err)
 	}

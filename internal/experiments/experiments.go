@@ -1,13 +1,19 @@
 // Package experiments regenerates every (reconstructed) table and figure of
 // the evaluation — see DESIGN.md §5 for the experiment index and
-// EXPERIMENTS.md for recorded results. Each function returns a core.Table
-// whose rows are the series the corresponding figure plots or the rows the
-// corresponding table lists. Both cmd/o2kbench and the root benchmark
-// harness drive these.
+// EXPERIMENTS.md for recorded results.
+//
+// Experiments are declared as registry Specs (Register/List/Lookup) and
+// assembled from memoized simulation cells on a runner.Engine, so one
+// invocation that produces many artifacts — `o2kbench -exp all`, the
+// verdict checker — simulates each unique (application, model, machine,
+// workload, P) cell exactly once, in parallel on a bounded worker pool.
+// Run/RunOn are the entry points; the exported per-artifact functions
+// (Fig2, Table6, …) remain as thin deprecated wrappers over the registry.
 package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"o2k/internal/apps/adaptmesh"
 	"o2k/internal/apps/barnes"
@@ -15,6 +21,7 @@ import (
 	"o2k/internal/apps/stencil"
 	"o2k/internal/core"
 	"o2k/internal/machine"
+	"o2k/internal/runner"
 	"o2k/internal/sim"
 )
 
@@ -25,6 +32,7 @@ type Opts struct {
 	NBodyW   barnes.Workload    // N-body workload
 	StencilW stencil.Workload   // regular-control workload
 	CGW      cg.Workload        // conjugate-gradient workload
+	Jobs     int                // worker-pool size for Run; <= 0 means GOMAXPROCS
 }
 
 // DefaultOpts returns the full-scale configuration: the Origin2000 study's
@@ -50,36 +58,55 @@ func QuickOpts() Opts {
 	}
 }
 
-func mach(p int) *machine.Machine { return machine.MustNew(machine.Default(p)) }
-
-// runMesh executes the mesh application for every model at procs, sharing
-// one plan set.
-func runMesh(w adaptmesh.Workload, procs int) [3]core.Metrics {
-	plans := adaptmesh.BuildPlans(w, procs)
-	var out [3]core.Metrics
-	for i, model := range core.AllModels() {
-		out[i] = adaptmesh.RunWithPlans(model, mach(procs), w, plans)
-	}
-	return out
+// The experiment index, in paper order. Registered here in one place (not
+// per-file init functions) so the registry order is explicit.
+func init() {
+	Register(Spec{Name: "workloads", Aliases: []string{"table1"},
+		Title: "Table 1 — application and workload characteristics", Build: buildTable1})
+	Register(Spec{Name: "mesh-speedup", Aliases: []string{"fig2"},
+		Title: "Figure 2 — adaptive mesh: time and speedup vs processors", Build: buildFig2})
+	Register(Spec{Name: "nbody-speedup", Aliases: []string{"fig3"},
+		Title: "Figure 3 — Barnes-Hut N-body: time and speedup vs processors", Build: buildFig3})
+	Register(Spec{Name: "breakdown", Aliases: []string{"fig4"},
+		Title: "Figure 4 — mesh phase breakdown at the largest P", Build: buildFig4})
+	Register(Spec{Name: "loc", Aliases: []string{"table5"},
+		Title: "Table 5 — programming effort (lines of code per model)", Build: buildTable5})
+	Register(Spec{Name: "memory", Aliases: []string{"table6"},
+		Title: "Table 6 — model-visible data memory at the largest P", Build: buildTable6})
+	Register(Spec{Name: "latency-sweep", Aliases: []string{"fig7"},
+		Title: "Figure 7 — sensitivity to the remote:local latency ratio", Build: buildFig7})
+	Register(Spec{Name: "loadbalance", Aliases: []string{"fig8"},
+		Title: "Figure 8 — PLUM remapping on vs off", Build: buildFig8})
+	Register(Spec{Name: "traffic", Aliases: []string{"table9"},
+		Title: "Table 9 — communication/traffic statistics", Build: buildTable9})
+	Register(Spec{Name: "regular-control", Aliases: []string{"fig10"},
+		Title: "Figure 10 — MP:CC-SAS ratio, regular vs adaptive workloads", Build: buildFig10})
+	Register(Spec{Name: "page-migration", Aliases: []string{"fig11"},
+		Title: "Figure 11 — CC-SAS page-migration ablation", Build: buildFig11})
+	Register(Spec{Name: "machine-sweep", Aliases: []string{"fig12"},
+		Title: "Figure 12 — machine-class sweep (Origin/T3E/SMP/cluster)", Build: buildFig12})
+	Register(Spec{Name: "hybrid", Aliases: []string{"fig13"},
+		Title: "Figure 13 — hybrid MP+SAS extension", Build: buildFig13})
+	Register(Spec{Name: "cg", Aliases: []string{"fig14"},
+		Title: "Figure 14 — conjugate gradient scaling and reduction share", Build: buildFig14})
+	Register(Spec{Name: "verdicts",
+		Title: "the study's falsifiable predictions, checked", Build: buildVerdicts,
+		Standalone: true})
 }
 
-func runNBody(w barnes.Workload, procs int) [3]core.Metrics {
-	plans := barnes.BuildPlans(w, procs)
-	var out [3]core.Metrics
-	for i, model := range core.AllModels() {
-		out[i] = barnes.RunWithPlans(model, mach(procs), w, plans)
-	}
-	return out
-}
-
-// Table1 reports the application and workload characteristics (the paper's
-// application-description table).
-func Table1(o Opts) *core.Table {
+func buildTable1(e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Table 1 — Application and workload characteristics (reconstructed)",
 		Header: []string{"application", "elements", "edges/interactions", "adapt cycles/steps", "sweeps per cycle", "max imbalance pre-LB"},
 	}
-	meshPlans := adaptmesh.BuildPlans(o.MeshW, 1)
+	var meshPlans []*adaptmesh.CyclePlan
+	var nbPlans []*barnes.StepPlan
+	var cgPl *cg.Plan
+	e.Warm(
+		func() { meshPlans = e.MeshPlans(o.MeshW, 1) },
+		func() { nbPlans = e.NBodyPlans(o.NBodyW, 1) },
+		func() { cgPl = e.CGPlan(o.CGW, 1) },
+	)
 	last := meshPlans[len(meshPlans)-1]
 	avgT, avgE := 0, 0
 	for _, pl := range meshPlans {
@@ -92,7 +119,6 @@ func Table1(o Opts) *core.Table {
 		fmt.Sprintf("%d cycles", o.MeshW.Cycles),
 		fmt.Sprintf("%d", o.MeshW.SolveIters),
 		core.F(last.Imbalance))
-	nbPlans := barnes.BuildPlans(o.NBodyW, 1)
 	inter := 0
 	cells := 0
 	for _, pl := range nbPlans {
@@ -111,7 +137,6 @@ func Table1(o Opts) *core.Table {
 		"static",
 		fmt.Sprintf("%d", o.StencilW.Iters),
 		"1.000")
-	cgPl := cg.BuildPlan(o.CGW, 1)
 	t.AddRow("conjugate gradient",
 		fmt.Sprintf("%d tris", cgPl.M.NumTris()),
 		fmt.Sprintf("%d edges (matrix rows %d)", cgPl.M.NumEdges(), cgPl.M.NumVertsUsed()),
@@ -121,25 +146,31 @@ func Table1(o Opts) *core.Table {
 	return t
 }
 
-// Fig2 is the adaptive-mesh scaling figure: execution time and speedup vs
-// processor count for each model.
-func Fig2(o Opts) *core.Table {
-	return scalingTable("Figure 2 — Adaptive mesh: time and speedup vs processors",
-		o.Procs, func(p int) [3]core.Metrics { return runMesh(o.MeshW, p) })
+func buildFig2(e *runner.Engine, o Opts) *core.Table {
+	return scalingTable(e, "Figure 2 — Adaptive mesh: time and speedup vs processors",
+		o.Procs, func(p int) [3]core.Metrics { return e.MeshModels(machine.Default(p), o.MeshW) })
 }
 
-// Fig3 is the N-body scaling figure.
-func Fig3(o Opts) *core.Table {
-	return scalingTable("Figure 3 — Barnes-Hut N-body: time and speedup vs processors",
-		o.Procs, func(p int) [3]core.Metrics { return runNBody(o.NBodyW, p) })
+func buildFig3(e *runner.Engine, o Opts) *core.Table {
+	return scalingTable(e, "Figure 3 — Barnes-Hut N-body: time and speedup vs processors",
+		o.Procs, func(p int) [3]core.Metrics { return e.NBodyModels(machine.Default(p), o.NBodyW) })
 }
 
-func scalingTable(title string, procs []int, run func(p int) [3]core.Metrics) *core.Table {
+// scalingTable warms every processor count's cells in parallel, then
+// assembles the rows serially from the (now cached) results, so row order
+// never depends on execution order.
+func scalingTable(e *runner.Engine, title string, procs []int, run func(p int) [3]core.Metrics) *core.Table {
 	t := &core.Table{
 		Title: title,
 		Header: []string{"P", "MP time", "SHMEM time", "CC-SAS time",
 			"MP spdup", "SHMEM spdup", "CC-SAS spdup"},
 	}
+	fns := make([]func(), len(procs))
+	for i, p := range procs {
+		p := p
+		fns[i] = func() { run(p) }
+	}
+	e.Warm(fns...)
 	var base [3]core.Metrics
 	for i, p := range procs {
 		m := run(p)
@@ -153,11 +184,9 @@ func scalingTable(title string, procs []int, run func(p int) [3]core.Metrics) *c
 	return t
 }
 
-// Fig4 is the phase-breakdown figure at the largest processor count: the
-// per-phase critical-path time of each model on the mesh application.
-func Fig4(o Opts) *core.Table {
+func buildFig4(e *runner.Engine, o Opts) *core.Table {
 	p := o.Procs[len(o.Procs)-1]
-	m := runMesh(o.MeshW, p)
+	m := e.MeshModels(machine.Default(p), o.MeshW)
 	t := &core.Table{
 		Title:  fmt.Sprintf("Figure 4 — Adaptive mesh phase breakdown at P=%d", p),
 		Header: []string{"phase", "MP", "SHMEM", "CC-SAS"},
@@ -173,12 +202,13 @@ func Fig4(o Opts) *core.Table {
 	return t
 }
 
-// Table6 is the memory-footprint table: model-visible field memory for both
-// applications at the largest processor count.
-func Table6(o Opts) *core.Table {
+func buildTable6(e *runner.Engine, o Opts) *core.Table {
 	p := o.Procs[len(o.Procs)-1]
-	mm := runMesh(o.MeshW, p)
-	nb := runNBody(o.NBodyW, p)
+	var mm, nb [3]core.Metrics
+	e.Warm(
+		func() { mm = e.MeshModels(machine.Default(p), o.MeshW) },
+		func() { nb = e.NBodyModels(machine.Default(p), o.NBodyW) },
+	)
 	t := &core.Table{
 		Title:  fmt.Sprintf("Table 6 — Model-visible data memory at P=%d (bytes)", p),
 		Header: []string{"application", "MP", "SHMEM", "CC-SAS", "MP/CC-SAS ratio"},
@@ -194,11 +224,18 @@ func Table6(o Opts) *core.Table {
 	return t
 }
 
-// Fig7 is the sensitivity ablation: total mesh-application time as the
-// remote:local memory latency ratio sweeps from 1x to 8x, at a fixed
-// processor count. CC-SAS depends on hardware shared memory, so it is the
-// model most exposed to NUMA-ness.
-func Fig7(o Opts) *core.Table {
+// fig7Ratios is the remote:local latency sweep of the sensitivity ablation.
+var fig7Ratios = []float64{1, 2, 4, 8}
+
+// fig7Config scales the baseline NUMA latencies by the given ratio.
+func fig7Config(procs int, ratio float64) machine.Config {
+	cfg := machine.Default(procs)
+	cfg.RemoteMissNS = sim.Time(float64(cfg.LocalMissNS) * ratio)
+	cfg.RemoteHopNS = sim.Time(float64(cfg.RemoteHopNS) * ratio / 1.5)
+	return cfg
+}
+
+func buildFig7(e *runner.Engine, o Opts) *core.Table {
 	procs := o.Procs[len(o.Procs)-1]
 	if procs > 32 {
 		procs = 32
@@ -207,26 +244,23 @@ func Fig7(o Opts) *core.Table {
 		Title:  fmt.Sprintf("Figure 7 — Sensitivity to remote:local latency ratio (mesh, P=%d)", procs),
 		Header: []string{"ratio", "MP", "SHMEM", "CC-SAS", "CC-SAS/MP"},
 	}
-	plans := adaptmesh.BuildPlans(o.MeshW, procs)
-	for _, ratio := range []float64{1, 2, 4, 8} {
-		cfg := machine.Default(procs)
-		cfg.RemoteMissNS = sim.Time(float64(cfg.LocalMissNS) * ratio)
-		cfg.RemoteHopNS = sim.Time(float64(cfg.RemoteHopNS) * ratio / 1.5)
-		m := machine.MustNew(cfg)
-		var tot [3]sim.Time
-		for i, model := range core.AllModels() {
-			tot[i] = adaptmesh.RunWithPlans(model, m, o.MeshW, plans).Total
-		}
+	res := make([][3]core.Metrics, len(fig7Ratios))
+	fns := make([]func(), len(fig7Ratios))
+	for i, ratio := range fig7Ratios {
+		i, ratio := i, ratio
+		fns[i] = func() { res[i] = e.MeshModels(fig7Config(procs, ratio), o.MeshW) }
+	}
+	e.Warm(fns...)
+	for i, ratio := range fig7Ratios {
+		m := res[i]
 		t.AddRow(fmt.Sprintf("%.1fx", ratio),
-			core.FT(tot[0]), core.FT(tot[1]), core.FT(tot[2]),
-			core.F(float64(tot[2])/float64(tot[0])))
+			core.FT(m[0].Total), core.FT(m[1].Total), core.FT(m[2].Total),
+			core.F(float64(m[2].Total)/float64(m[0].Total)))
 	}
 	return t
 }
 
-// Fig8 is the load-balancing figure: the mesh application with and without
-// PLUM-style remapping, per model.
-func Fig8(o Opts) *core.Table {
+func buildFig8(e *runner.Engine, o Opts) *core.Table {
 	procs := o.Procs[len(o.Procs)-1]
 	t := &core.Table{
 		Title:  fmt.Sprintf("Figure 8 — PLUM remapping on vs off (mesh, P=%d)", procs),
@@ -234,8 +268,11 @@ func Fig8(o Opts) *core.Table {
 	}
 	wOff := o.MeshW
 	wOff.NoRemap = true
-	on := runMesh(o.MeshW, procs)
-	off := runMesh(wOff, procs)
+	var on, off [3]core.Metrics
+	e.Warm(
+		func() { on = e.MeshModels(machine.Default(procs), o.MeshW) },
+		func() { off = e.MeshModels(machine.Default(procs), wOff) },
+	)
 	for i, model := range core.AllModels() {
 		t.AddRow(model.String(),
 			core.FT(on[i].Total), core.FT(off[i].Total),
@@ -244,16 +281,26 @@ func Fig8(o Opts) *core.Table {
 	return t
 }
 
-// Table9 is the communication/traffic statistics table at two scales.
-func Table9(o Opts) *core.Table {
+func buildTable9(e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Table 9 — Traffic statistics (mesh application)",
 		Header: []string{"P", "model", "msgs", "bytes", "remote misses", "coh evictions", "lock ops"},
 	}
-	for _, p := range []int{o.Procs[len(o.Procs)/2], o.Procs[len(o.Procs)-1]} {
-		m := runMesh(o.MeshW, p)
-		for i, model := range core.AllModels() {
-			c := m[i].Counters
+	procs := []int{o.Procs[len(o.Procs)/2], o.Procs[len(o.Procs)-1]}
+	res := make([][3]core.Metrics, len(procs))
+	var wg sync.WaitGroup
+	for i, p := range procs {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res[i] = e.MeshModels(machine.Default(p), o.MeshW)
+		}()
+	}
+	wg.Wait()
+	for i, p := range procs {
+		for j, model := range core.AllModels() {
+			c := res[i][j].Counters
 			t.AddRow(fmt.Sprintf("%d", p), model.String(),
 				fmt.Sprintf("%d", c.MsgsSent), fmt.Sprintf("%d", c.BytesSent),
 				fmt.Sprintf("%d", c.RemoteMisses), fmt.Sprintf("%d", c.CohMisses),
@@ -263,75 +310,82 @@ func Table9(o Opts) *core.Table {
 	return t
 }
 
-// Fig10 is the regular-workload control: the MP:CC-SAS total-time ratio on
-// the static Jacobi stencil vs the two adaptive applications, per processor
-// count. The adaptive ratios should be well above the stencil's ≈1 line —
-// direct evidence that the paradigm gap is caused by adaptivity.
-func Fig10(o Opts) *core.Table {
+func buildFig10(e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Figure 10 — MP:CC-SAS time ratio, regular vs adaptive workloads",
 		Header: []string{"P", "stencil (regular)", "adaptive mesh", "n-body"},
 	}
+	var procs []int
 	for _, p := range o.Procs {
-		if p < 4 {
-			continue // ratios at tiny P are all ~1 and waste a row
+		if p >= 4 { // ratios at tiny P are all ~1 and waste a row
+			procs = append(procs, p)
 		}
-		m := mach(p)
-		st0 := stencil.Run(core.MP, m, o.StencilW).Total
-		st2 := stencil.Run(core.SAS, m, o.StencilW).Total
-		me := runMesh(o.MeshW, p)
-		nb := runNBody(o.NBodyW, p)
+	}
+	type row struct {
+		st0, st2 core.Metrics
+		me, nb   [3]core.Metrics
+	}
+	res := make([]row, len(procs))
+	var fns []func()
+	for i, p := range procs {
+		i, p := i, p
+		fns = append(fns,
+			func() { res[i].st0 = e.Stencil(core.MP, machine.Default(p), o.StencilW) },
+			func() { res[i].st2 = e.Stencil(core.SAS, machine.Default(p), o.StencilW) },
+			func() { res[i].me = e.MeshModels(machine.Default(p), o.MeshW) },
+			func() { res[i].nb = e.NBodyModels(machine.Default(p), o.NBodyW) },
+		)
+	}
+	e.Warm(fns...)
+	for i, p := range procs {
+		r := res[i]
 		t.AddRow(fmt.Sprintf("%d", p),
-			core.F(float64(st0)/float64(st2)),
-			core.F(float64(me[0].Total)/float64(me[2].Total)),
-			core.F(float64(nb[0].Total)/float64(nb[2].Total)))
+			core.F(float64(r.st0.Total)/float64(r.st2.Total)),
+			core.F(float64(r.me[0].Total)/float64(r.me[2].Total)),
+			core.F(float64(r.nb[0].Total)/float64(r.nb[2].Total)))
 	}
 	return t
 }
 
-// Fig11 is the page-migration ablation: CC-SAS on the adaptive mesh with
-// IRIX-style static first-touch placement vs OS page migration after each
-// repartition. Migration buys locality back in the solve loop at a per-page
-// cost — the trade-off shifts with scale.
-func Fig11(o Opts) *core.Table {
+func buildFig11(e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Figure 11 — CC-SAS page migration ablation (adaptive mesh)",
 		Header: []string{"P", "first-touch", "page-migrate", "remote misses FT", "remote misses PM"},
 	}
 	wMig := o.MeshW
 	wMig.SasPageMigrate = true
+	var procs []int
 	for _, p := range o.Procs {
-		if p < 4 {
-			continue
+		if p >= 4 {
+			procs = append(procs, p)
 		}
-		plans := adaptmesh.BuildPlans(o.MeshW, p)
-		ft := adaptmesh.RunWithPlans(core.SAS, mach(p), o.MeshW, plans)
-		pm := adaptmesh.RunWithPlans(core.SAS, mach(p), wMig, plans)
+	}
+	ft := make([]core.Metrics, len(procs))
+	pm := make([]core.Metrics, len(procs))
+	var fns []func()
+	for i, p := range procs {
+		i, p := i, p
+		fns = append(fns,
+			func() { ft[i] = e.Mesh(core.SAS, machine.Default(p), o.MeshW) },
+			func() { pm[i] = e.Mesh(core.SAS, machine.Default(p), wMig) },
+		)
+	}
+	e.Warm(fns...)
+	for i, p := range procs {
 		t.AddRow(fmt.Sprintf("%d", p),
-			core.FT(ft.Total), core.FT(pm.Total),
-			fmt.Sprintf("%d", ft.Counters.RemoteMisses),
-			fmt.Sprintf("%d", pm.Counters.RemoteMisses))
+			core.FT(ft[i].Total), core.FT(pm[i].Total),
+			fmt.Sprintf("%d", ft[i].Counters.RemoteMisses),
+			fmt.Sprintf("%d", pm[i].Counters.RemoteMisses))
 	}
 	return t
 }
 
-// Fig12 re-runs the mesh comparison on four machine classes: the baseline
-// Origin2000, a T3E-like message-optimized MPP, an ideal (bus) SMP, and a
-// cluster of SMPs. The study's claim is conditional on the machine class —
-// this figure makes the condition explicit: the CC-SAS win belongs to
-// tightly coupled ccNUMA (and SMP); on a T3E, SHMEM leads; on a cluster,
-// software shared memory collapses.
-func Fig12(o Opts) *core.Table {
-	procs := o.Procs[len(o.Procs)-1]
-	if procs > 32 {
-		procs = 32
-	}
-	t := &core.Table{
-		Title:  fmt.Sprintf("Figure 12 — Machine-class sweep (mesh, P=%d)", procs),
-		Header: []string{"machine", "MP", "SHMEM", "CC-SAS", "winner"},
-	}
-	plans := adaptmesh.BuildPlans(o.MeshW, procs)
-	classes := []struct {
+// fig12Classes are the machine classes of the conditional-claim sweep.
+func fig12Classes(procs int) []struct {
+	name string
+	cfg  machine.Config
+} {
+	return []struct {
 		name string
 		cfg  machine.Config
 	}{
@@ -340,66 +394,85 @@ func Fig12(o Opts) *core.Table {
 		{"ideal SMP", machine.SMP(procs)},
 		{"cluster of SMPs", machine.ClusterOfSMPs(procs)},
 	}
-	for _, cl := range classes {
-		m := machine.MustNew(cl.cfg)
-		var tot [3]sim.Time
+}
+
+func buildFig12(e *runner.Engine, o Opts) *core.Table {
+	procs := o.Procs[len(o.Procs)-1]
+	if procs > 32 {
+		procs = 32
+	}
+	t := &core.Table{
+		Title:  fmt.Sprintf("Figure 12 — Machine-class sweep (mesh, P=%d)", procs),
+		Header: []string{"machine", "MP", "SHMEM", "CC-SAS", "winner"},
+	}
+	classes := fig12Classes(procs)
+	res := make([][3]core.Metrics, len(classes))
+	fns := make([]func(), len(classes))
+	for i, cl := range classes {
+		i, cl := i, cl
+		fns[i] = func() { res[i] = e.MeshModels(cl.cfg, o.MeshW) }
+	}
+	e.Warm(fns...)
+	for i, cl := range classes {
 		best := 0
-		for i, model := range core.AllModels() {
-			tot[i] = adaptmesh.RunWithPlans(model, m, o.MeshW, plans).Total
-			if tot[i] < tot[best] {
-				best = i
+		for j := range res[i] {
+			if res[i][j].Total < res[i][best].Total {
+				best = j
 			}
 		}
-		t.AddRow(cl.name, core.FT(tot[0]), core.FT(tot[1]), core.FT(tot[2]),
+		t.AddRow(cl.name, core.FT(res[i][0].Total), core.FT(res[i][1].Total), core.FT(res[i][2].Total),
 			core.AllModels()[best].String())
 	}
 	return t
 }
 
-// Fig13 is the hybrid-model extension: MP+SAS (message passing between
-// nodes, shared memory within) against the pure models, on the baseline
-// Origin2000 and on a cluster of 4-way SMPs. The follow-up-paper result:
-// the hybrid is only marginally different from pure MP on tightly coupled
-// hardware, but wins where inter-node messaging is expensive.
-func Fig13(o Opts) *core.Table {
+func buildFig13(e *runner.Engine, o Opts) *core.Table {
 	procs := o.Procs[len(o.Procs)-1]
 	t := &core.Table{
 		Title:  fmt.Sprintf("Figure 13 — Hybrid MP+SAS extension (mesh, P=%d)", procs),
 		Header: []string{"machine", "MP", "MP+SAS hybrid", "CC-SAS", "hybrid/MP"},
 	}
-	for _, cl := range []struct {
+	classes := []struct {
 		name string
 		cfg  machine.Config
 	}{
 		{"origin2000", machine.Default(procs)},
 		{"cluster of SMPs", machine.ClusterOfSMPs(procs)},
-	} {
-		m := machine.MustNew(cl.cfg)
-		pure := adaptmesh.RunWithPlans(core.MP, m, o.MeshW, adaptmesh.BuildPlans(o.MeshW, procs)).Total
-		sasT := adaptmesh.RunWithPlans(core.SAS, m, o.MeshW, adaptmesh.BuildPlans(o.MeshW, procs)).Total
-		hyb := adaptmesh.RunHybridWithPlans(m, o.MeshW, adaptmesh.BuildPlans(o.MeshW, m.Nodes())).Total
-		t.AddRow(cl.name, core.FT(pure), core.FT(hyb), core.FT(sasT),
-			core.F(float64(hyb)/float64(pure)))
+	}
+	type row struct{ pure, sas, hyb core.Metrics }
+	res := make([]row, len(classes))
+	var fns []func()
+	for i, cl := range classes {
+		i, cl := i, cl
+		fns = append(fns,
+			func() { res[i].pure = e.Mesh(core.MP, cl.cfg, o.MeshW) },
+			func() { res[i].sas = e.Mesh(core.SAS, cl.cfg, o.MeshW) },
+			func() { res[i].hyb = e.MeshHybrid(cl.cfg, o.MeshW) },
+		)
+	}
+	e.Warm(fns...)
+	for i, cl := range classes {
+		r := res[i]
+		t.AddRow(cl.name, core.FT(r.pure.Total), core.FT(r.hyb.Total), core.FT(r.sas.Total),
+			core.F(float64(r.hyb.Total)/float64(r.pure.Total)))
 	}
 	return t
 }
 
-// Fig14 is the conjugate-gradient figure: time per model vs P, plus the
-// share of MP's time spent in the two per-iteration global reductions —
-// CG's latency-bound signature. The reductions cannot shrink with P, so
-// their share grows and the hardware-assisted CC-SAS tree pulls ahead.
-func Fig14(o Opts) *core.Table {
+func buildFig14(e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Figure 14 — Conjugate gradient: time vs processors, reduction share",
 		Header: []string{"P", "MP", "SHMEM", "CC-SAS", "MP sync frac", "CC-SAS sync frac"},
 	}
-	for _, p := range o.Procs {
-		pl := cg.BuildPlan(o.CGW, p)
-		m := mach(p)
-		var met [3]core.Metrics
-		for i, model := range core.AllModels() {
-			met[i] = cg.RunWithPlan(model, m, o.CGW, pl)
-		}
+	res := make([][3]core.Metrics, len(o.Procs))
+	fns := make([]func(), len(o.Procs))
+	for i, p := range o.Procs {
+		i, p := i, p
+		fns[i] = func() { res[i] = e.CGModels(machine.Default(p), o.CGW) }
+	}
+	e.Warm(fns...)
+	for i, p := range o.Procs {
+		met := res[i]
 		t.AddRow(fmt.Sprintf("%d", p),
 			core.FT(met[0].Total), core.FT(met[1].Total), core.FT(met[2].Total),
 			core.F(met[0].PhaseFraction(sim.PhaseSync)),
@@ -408,10 +481,77 @@ func Fig14(o Opts) *core.Table {
 	return t
 }
 
-// All runs every experiment in index order.
-func All(o Opts) []*core.Table {
-	return []*core.Table{
-		Table1(o), Fig2(o), Fig3(o), Fig4(o), Table5(), Table6(o), Fig7(o), Fig8(o), Table9(o),
-		Fig10(o), Fig11(o), Fig12(o), Fig13(o), Fig14(o),
-	}
-}
+// Deprecated wrappers — the pre-registry API. Each builds its artifact on a
+// private engine; callers producing more than one artifact should use
+// RunOn/RunAll with a shared engine to get cross-experiment cell reuse.
+
+// Table1 reports the application and workload characteristics.
+//
+// Deprecated: use Run("workloads", o).
+func Table1(o Opts) *core.Table { return buildTable1(runner.New(o.Jobs), o) }
+
+// Fig2 is the adaptive-mesh scaling figure.
+//
+// Deprecated: use Run("mesh-speedup", o).
+func Fig2(o Opts) *core.Table { return buildFig2(runner.New(o.Jobs), o) }
+
+// Fig3 is the N-body scaling figure.
+//
+// Deprecated: use Run("nbody-speedup", o).
+func Fig3(o Opts) *core.Table { return buildFig3(runner.New(o.Jobs), o) }
+
+// Fig4 is the phase-breakdown figure at the largest processor count.
+//
+// Deprecated: use Run("breakdown", o).
+func Fig4(o Opts) *core.Table { return buildFig4(runner.New(o.Jobs), o) }
+
+// Table6 is the memory-footprint table.
+//
+// Deprecated: use Run("memory", o).
+func Table6(o Opts) *core.Table { return buildTable6(runner.New(o.Jobs), o) }
+
+// Fig7 is the remote:local latency sensitivity ablation.
+//
+// Deprecated: use Run("latency-sweep", o).
+func Fig7(o Opts) *core.Table { return buildFig7(runner.New(o.Jobs), o) }
+
+// Fig8 is the load-balancing (PLUM remap on/off) figure.
+//
+// Deprecated: use Run("loadbalance", o).
+func Fig8(o Opts) *core.Table { return buildFig8(runner.New(o.Jobs), o) }
+
+// Table9 is the communication/traffic statistics table.
+//
+// Deprecated: use Run("traffic", o).
+func Table9(o Opts) *core.Table { return buildTable9(runner.New(o.Jobs), o) }
+
+// Fig10 is the regular-workload control figure.
+//
+// Deprecated: use Run("regular-control", o).
+func Fig10(o Opts) *core.Table { return buildFig10(runner.New(o.Jobs), o) }
+
+// Fig11 is the CC-SAS page-migration ablation.
+//
+// Deprecated: use Run("page-migration", o).
+func Fig11(o Opts) *core.Table { return buildFig11(runner.New(o.Jobs), o) }
+
+// Fig12 is the machine-class sweep.
+//
+// Deprecated: use Run("machine-sweep", o).
+func Fig12(o Opts) *core.Table { return buildFig12(runner.New(o.Jobs), o) }
+
+// Fig13 is the hybrid-model extension figure.
+//
+// Deprecated: use Run("hybrid", o).
+func Fig13(o Opts) *core.Table { return buildFig13(runner.New(o.Jobs), o) }
+
+// Fig14 is the conjugate-gradient figure.
+//
+// Deprecated: use Run("cg", o).
+func Fig14(o Opts) *core.Table { return buildFig14(runner.New(o.Jobs), o) }
+
+// All runs every experiment in index order on one shared engine.
+//
+// Deprecated: use Run("all", o), or RunAll with a caller-owned engine when
+// the run report is wanted.
+func All(o Opts) []*core.Table { return RunAll(runner.New(o.Jobs), o) }

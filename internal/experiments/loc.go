@@ -8,7 +8,13 @@ import (
 	"strings"
 
 	"o2k/internal/core"
+	"o2k/internal/runner"
 )
+
+// buildTable5 adapts the LoC counter to the registry's Build signature; it
+// measures source files, not simulations, so it takes nothing from the
+// engine.
+func buildTable5(_ *runner.Engine, _ Opts) *core.Table { return Table5() }
 
 // Table5 is the programming-effort table: lines of code of each model's
 // implementation, measured from this repository's own sources (the honest

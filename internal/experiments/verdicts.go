@@ -4,20 +4,19 @@ import (
 	"fmt"
 
 	"o2k/internal/apps/adaptmesh"
-	"o2k/internal/apps/barnes"
-	"o2k/internal/apps/cg"
-	"o2k/internal/apps/stencil"
 	"o2k/internal/core"
 	"o2k/internal/machine"
+	"o2k/internal/runner"
 	"o2k/internal/sim"
 )
 
-// Verdicts runs the study's falsifiable predictions (the "expected shape"
-// lines of EXPERIMENTS.md) as executable checks and reports PASS/FAIL for
-// each — the reproduction statement in one table. It re-executes the
-// underlying experiments, so at DefaultOpts it takes as long as several
-// figures combined.
-func Verdicts(o Opts) *core.Table {
+// buildVerdicts runs the study's falsifiable predictions (the "expected
+// shape" lines of EXPERIMENTS.md) as executable checks and reports
+// PASS/FAIL for each — the reproduction statement in one table. Every
+// underlying simulation goes through the cell engine, so on a shared
+// engine (o2kbench after -exp all, or RunAll) most of its evidence is
+// already cached.
+func buildVerdicts(e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Verdicts — the study's falsifiable predictions, checked",
 		Header: []string{"id", "claim", "verdict", "evidence"},
@@ -33,9 +32,32 @@ func Verdicts(o Opts) *core.Table {
 		t.AddRow(id, claim, verdict, evidence)
 	}
 
+	wOff := o.MeshW
+	wOff.NoRemap = true
+
+	// Warm every independent evidence group so the unique cells run in
+	// parallel; the serial checks below then assemble from cache.
+	var meshMax, meshMid, nb, nbMid, t3e [3]core.Metrics
+	var fig7 *core.Table
+	var stMP, stSAS, hyb, cgMaxMP, cgMidMP core.Metrics
+	var onPlans, offPlans []*adaptmesh.CyclePlan
+	e.Warm(
+		func() { meshMax = e.MeshModels(machine.Default(maxP), o.MeshW) },
+		func() { meshMid = e.MeshModels(machine.Default(midP), o.MeshW) },
+		func() { nb = e.NBodyModels(machine.Default(maxP), o.NBodyW) },
+		func() { nbMid = e.NBodyModels(machine.Default(midP), o.NBodyW) },
+		func() { fig7 = buildFig7(e, o) },
+		func() { stMP = e.Stencil(core.MP, machine.Default(maxP), o.StencilW) },
+		func() { stSAS = e.Stencil(core.SAS, machine.Default(maxP), o.StencilW) },
+		func() { onPlans = e.MeshPlans(o.MeshW, maxP) },
+		func() { offPlans = e.MeshPlans(wOff, maxP) },
+		func() { t3e = e.MeshModels(machine.T3E(midP), o.MeshW) },
+		func() { hyb = e.MeshHybrid(machine.Default(maxP), o.MeshW) },
+		func() { cgMaxMP = e.CG(core.MP, machine.Default(maxP), o.CGW) },
+		func() { cgMidMP = e.CG(core.MP, machine.Default(midP), o.CGW) },
+	)
+
 	// V1/V2: mesh ordering and widening gap.
-	meshMax := runMesh(o.MeshW, maxP)
-	meshMid := runMesh(o.MeshW, midP)
 	add("V1", "adaptive mesh: CC-SAS < SHMEM < MP at max P",
 		meshMax[2].Total < meshMax[1].Total && meshMax[1].Total < meshMax[0].Total,
 		fmt.Sprintf("P=%d: %v / %v / %v", maxP, meshMax[0].Total, meshMax[1].Total, meshMax[2].Total))
@@ -46,7 +68,6 @@ func Verdicts(o Opts) *core.Table {
 		fmt.Sprintf("P=%d: %.2f -> P=%d: %.2f", midP, gapMid, maxP, gapMax))
 
 	// V3: N-body winner.
-	nb := runNBody(o.NBodyW, maxP)
 	add("V3", "n-body: CC-SAS fastest at max P",
 		nb[2].Total < nb[0].Total && nb[2].Total < nb[1].Total,
 		fmt.Sprintf("%v / %v / %v", nb[0].Total, nb[1].Total, nb[2].Total))
@@ -70,7 +91,6 @@ func Verdicts(o Opts) *core.Table {
 	add("V5", "LoC: CC-SAS smallest in every component", locOK, ev)
 
 	// V6: NUMA-ratio crossover.
-	fig7 := Fig7(o)
 	first := parseRatio(fig7.Rows[0][4])
 	last := parseRatio(fig7.Rows[len(fig7.Rows)-1][4])
 	add("V6", "CC-SAS advantage erodes as remote:local ratio grows",
@@ -78,68 +98,51 @@ func Verdicts(o Opts) *core.Table {
 		fmt.Sprintf("CC-SAS/MP: %.2f -> %.2f", first, last))
 
 	// V7: regular control.
-	stMP := stencil.Run(core.MP, mach(maxP), o.StencilW).Total
-	stSAS := stencil.Run(core.SAS, mach(maxP), o.StencilW).Total
-	stGap := float64(stMP) / float64(stSAS)
+	stGap := float64(stMP.Total) / float64(stSAS.Total)
 	add("V7", "regular stencil gap well below adaptive gap",
 		stGap < gapMax,
 		fmt.Sprintf("stencil %.2f vs mesh %.2f", stGap, gapMax))
 
 	// V8: PLUM remap reduces movement.
-	wOff := o.MeshW
-	wOff.NoRemap = true
-	on := adaptmesh.BuildPlans(o.MeshW, maxP)
-	off := adaptmesh.BuildPlans(wOff, maxP)
 	var mOn, mOff float64
-	for i := range on {
-		mOn += on[i].Remap.TotalW
-		mOff += off[i].Remap.TotalW
+	for i := range onPlans {
+		mOn += onPlans[i].Remap.TotalW
+		mOff += offPlans[i].Remap.TotalW
 	}
 	add("V8", "PLUM remap moves less weight than identity",
 		mOn <= mOff, fmt.Sprintf("%.0f vs %.0f", mOn, mOff))
 
 	// V9: machine-class flip.
-	t3e := machine.MustNew(machine.T3E(midP))
-	plans := adaptmesh.BuildPlans(o.MeshW, midP)
-	var t3eT [3]sim.Time
-	for i, model := range core.AllModels() {
-		t3eT[i] = adaptmesh.RunWithPlans(model, t3e, o.MeshW, plans).Total
-	}
 	add("V9", "on a T3E-like MPP the winner flips to SHMEM",
-		t3eT[1] < t3eT[0] && t3eT[1] < t3eT[2],
-		fmt.Sprintf("%v / %v / %v", t3eT[0], t3eT[1], t3eT[2]))
+		t3e[1].Total < t3e[0].Total && t3e[1].Total < t3e[2].Total,
+		fmt.Sprintf("%v / %v / %v", t3e[0].Total, t3e[1].Total, t3e[2].Total))
 
 	// V10: hybrid finding.
-	hyb := adaptmesh.RunHybridWithPlans(mach(maxP), o.MeshW,
-		adaptmesh.BuildPlans(o.MeshW, mach(maxP).Nodes())).Total
 	pure := meshMax[0].Total
 	add("V10", "hybrid MP+SAS within 15% of pure MP on Origin",
-		float64(hyb) <= 1.15*float64(pure),
-		fmt.Sprintf("hybrid %v vs MP %v", hyb, pure))
+		float64(hyb.Total) <= 1.15*float64(pure),
+		fmt.Sprintf("hybrid %v vs MP %v", hyb.Total, pure))
 
 	// V11: cross-model result identity.
-	nbp := barnes.BuildPlans(o.NBodyW, midP)
-	mm := runMesh(o.MeshW, midP)
-	okID := mm[0].Checksum == mm[1].Checksum && mm[1].Checksum == mm[2].Checksum
-	var nbc [3]float64
-	for i, model := range core.AllModels() {
-		nbc[i] = barnes.RunWithPlans(model, mach(midP), o.NBodyW, nbp).Checksum
-	}
-	okID = okID && nbc[0] == nbc[1] && nbc[1] == nbc[2]
+	okID := meshMid[0].Checksum == meshMid[1].Checksum && meshMid[1].Checksum == meshMid[2].Checksum
+	okID = okID && nbMid[0].Checksum == nbMid[1].Checksum && nbMid[1].Checksum == nbMid[2].Checksum
 	add("V11", "bit-identical results across models (mesh + n-body)",
-		okID, fmt.Sprintf("mesh %.9g, n-body %.9g", mm[0].Checksum, nbc[0]))
+		okID, fmt.Sprintf("mesh %.9g, n-body %.9g", meshMid[0].Checksum, nbMid[0].Checksum))
 
 	// V12: CG reduction-latency signature.
-	cgPl := cg.BuildPlan(o.CGW, maxP)
-	cgMP := cg.RunWithPlan(core.MP, mach(maxP), o.CGW, cgPl)
-	cgMid := cg.RunWithPlan(core.MP, mach(midP), o.CGW, cg.BuildPlan(o.CGW, midP))
 	add("V12", "CG: MP reduction share grows with P",
-		cgMP.PhaseFraction(sim.PhaseSync) > cgMid.PhaseFraction(sim.PhaseSync),
+		cgMaxMP.PhaseFraction(sim.PhaseSync) > cgMidMP.PhaseFraction(sim.PhaseSync),
 		fmt.Sprintf("sync frac P=%d: %.2f -> P=%d: %.2f",
-			midP, cgMid.PhaseFraction(sim.PhaseSync), maxP, cgMP.PhaseFraction(sim.PhaseSync)))
+			midP, cgMidMP.PhaseFraction(sim.PhaseSync), maxP, cgMaxMP.PhaseFraction(sim.PhaseSync)))
 
 	return t
 }
+
+// Verdicts runs every check on a private engine.
+//
+// Deprecated: use Run("verdicts", o), or RunOn with the engine that already
+// ran the experiments the checks re-examine.
+func Verdicts(o Opts) *core.Table { return buildVerdicts(runner.New(o.Jobs), o) }
 
 func atoiSafe(s string) int {
 	n := 0

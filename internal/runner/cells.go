@@ -1,0 +1,150 @@
+package runner
+
+import (
+	"fmt"
+
+	"o2k/internal/apps/adaptmesh"
+	"o2k/internal/apps/barnes"
+	"o2k/internal/apps/cg"
+	"o2k/internal/apps/stencil"
+	"o2k/internal/core"
+	"o2k/internal/machine"
+)
+
+// The typed cell helpers below are the whole vocabulary the experiments
+// need: one run cell per (application, model, machine config, workload),
+// plus the plan cells the run cells depend on. Plans are memoized
+// separately because they are shared across the three models at a given
+// processor count (and, for the mesh, across ablation variants that differ
+// only in run-time knobs) — exactly the sharing the serial drivers used to
+// arrange by hand with RunWithPlans.
+//
+// Dependency discipline: every helper resolves its plan cell *before*
+// entering Do, so a goroutine never holds a worker slot while waiting for
+// another cell — the bounded pool cannot deadlock, even at -jobs=1.
+
+// meshPlanWorkload strips the workload fields that BuildPlans does not read
+// (solver depth, auxiliary field count, the CC-SAS page-migration knob), so
+// ablation variants that differ only in those knobs share one plan cell.
+// Structural fields — grid, refinement depth, cycles, fronts, StaticMesh,
+// NoRemap — stay, because they change the plans.
+func meshPlanWorkload(w adaptmesh.Workload) adaptmesh.Workload {
+	w.SolveIters = 0
+	w.AuxFields = 0
+	w.SasPageMigrate = false
+	return w
+}
+
+// MeshPlans returns the memoized cycle plans for the mesh workload at the
+// given processor count.
+func (e *Engine) MeshPlans(w adaptmesh.Workload, procs int) []*adaptmesh.CyclePlan {
+	pw := meshPlanWorkload(w)
+	key := core.CellKey("mesh/plans", pw, procs)
+	v := e.Do(key, fmt.Sprintf("mesh plans P=%d", procs), func() any {
+		return adaptmesh.BuildPlans(pw, procs)
+	})
+	return v.([]*adaptmesh.CyclePlan)
+}
+
+// Mesh runs the adaptive-mesh application under one model on one machine
+// configuration (cfg.Procs is the processor count), memoized.
+func (e *Engine) Mesh(model core.Model, cfg machine.Config, w adaptmesh.Workload) core.Metrics {
+	plans := e.MeshPlans(w, cfg.Procs)
+	key := core.CellKey("mesh/run", model, cfg, w)
+	v := e.Do(key, fmt.Sprintf("mesh %v P=%d", model, cfg.Procs), func() any {
+		return adaptmesh.RunWithPlans(model, machine.MustNew(cfg), w, plans)
+	})
+	return v.(core.Metrics)
+}
+
+// MeshModels runs the mesh application under all three models, in parallel
+// where the pool allows, returning metrics in core.AllModels order.
+func (e *Engine) MeshModels(cfg machine.Config, w adaptmesh.Workload) [3]core.Metrics {
+	var out [3]core.Metrics
+	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.Mesh(m, cfg, w) })...)
+	return out
+}
+
+// MeshHybrid runs the MP+SAS hybrid mesh extension: plans are built at the
+// machine's node count (one MP rank per node board).
+func (e *Engine) MeshHybrid(cfg machine.Config, w adaptmesh.Workload) core.Metrics {
+	m := machine.MustNew(cfg)
+	plans := e.MeshPlans(w, m.Nodes())
+	key := core.CellKey("mesh/hybrid", cfg, w)
+	v := e.Do(key, fmt.Sprintf("mesh MP+SAS P=%d", cfg.Procs), func() any {
+		return adaptmesh.RunHybridWithPlans(m, w, plans)
+	})
+	return v.(core.Metrics)
+}
+
+// NBodyPlans returns the memoized per-step plans for the N-body workload.
+func (e *Engine) NBodyPlans(w barnes.Workload, procs int) []*barnes.StepPlan {
+	key := core.CellKey("nbody/plans", w, procs)
+	v := e.Do(key, fmt.Sprintf("n-body plans P=%d", procs), func() any {
+		return barnes.BuildPlans(w, procs)
+	})
+	return v.([]*barnes.StepPlan)
+}
+
+// NBody runs the Barnes-Hut application under one model, memoized.
+func (e *Engine) NBody(model core.Model, cfg machine.Config, w barnes.Workload) core.Metrics {
+	plans := e.NBodyPlans(w, cfg.Procs)
+	key := core.CellKey("nbody/run", model, cfg, w)
+	v := e.Do(key, fmt.Sprintf("n-body %v P=%d", model, cfg.Procs), func() any {
+		return barnes.RunWithPlans(model, machine.MustNew(cfg), w, plans)
+	})
+	return v.(core.Metrics)
+}
+
+// NBodyModels runs the N-body application under all three models.
+func (e *Engine) NBodyModels(cfg machine.Config, w barnes.Workload) [3]core.Metrics {
+	var out [3]core.Metrics
+	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.NBody(m, cfg, w) })...)
+	return out
+}
+
+// CGPlan returns the memoized static plan for the conjugate-gradient run.
+func (e *Engine) CGPlan(w cg.Workload, procs int) *cg.Plan {
+	key := core.CellKey("cg/plan", w, procs)
+	v := e.Do(key, fmt.Sprintf("cg plan P=%d", procs), func() any {
+		return cg.BuildPlan(w, procs)
+	})
+	return v.(*cg.Plan)
+}
+
+// CG runs the conjugate-gradient application under one model, memoized.
+func (e *Engine) CG(model core.Model, cfg machine.Config, w cg.Workload) core.Metrics {
+	plan := e.CGPlan(w, cfg.Procs)
+	key := core.CellKey("cg/run", model, cfg, w)
+	v := e.Do(key, fmt.Sprintf("cg %v P=%d", model, cfg.Procs), func() any {
+		return cg.RunWithPlan(model, machine.MustNew(cfg), w, plan)
+	})
+	return v.(core.Metrics)
+}
+
+// CGModels runs the conjugate-gradient application under all three models.
+func (e *Engine) CGModels(cfg machine.Config, w cg.Workload) [3]core.Metrics {
+	var out [3]core.Metrics
+	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.CG(m, cfg, w) })...)
+	return out
+}
+
+// Stencil runs the regular Jacobi control application under one model;
+// it has no plan stage.
+func (e *Engine) Stencil(model core.Model, cfg machine.Config, w stencil.Workload) core.Metrics {
+	key := core.CellKey("stencil/run", model, cfg, w)
+	v := e.Do(key, fmt.Sprintf("stencil %v P=%d", model, cfg.Procs), func() any {
+		return stencil.Run(model, machine.MustNew(cfg), w)
+	})
+	return v.(core.Metrics)
+}
+
+// modelFns adapts a per-model assignment to Warm's closure list.
+func modelFns(f func(i int, m core.Model)) []func() {
+	fns := make([]func(), 0, len(core.AllModels()))
+	for i, m := range core.AllModels() {
+		i, m := i, m
+		fns = append(fns, func() { f(i, m) })
+	}
+	return fns
+}

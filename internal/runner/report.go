@@ -1,0 +1,84 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"o2k/internal/core"
+)
+
+// CellStat is one unique cell's execution record.
+type CellStat struct {
+	Label  string        `json:"label"`   // human-readable cell description
+	Key    string        `json:"key"`     // content hash (core.CellKey)
+	Wall   time.Duration `json:"wall_ns"` // compute wall time paid by the owner
+	Hits   int64         `json:"hits"`    // requests served from the completed cache entry
+	Dedups int64         `json:"dedups"`  // requests that shared the in-flight execution
+}
+
+// Report is the engine's execution summary: how many cell requests the
+// experiments issued, how many unique simulations were actually paid for,
+// and where the wall time went. It is host-timing data — print it to stderr
+// (as o2kbench -runreport does) so table output stays byte-stable.
+type Report struct {
+	Jobs     int           `json:"jobs"`
+	Unique   int           `json:"unique_cells"`
+	Requests int64         `json:"requests"`
+	Hits     int64         `json:"hits"`
+	Dedups   int64         `json:"dedups"`
+	CellWall time.Duration `json:"cell_wall_ns"` // summed compute time of all unique cells
+	Cells    []CellStat    `json:"cells"`        // sorted by wall time, descending
+}
+
+// Report snapshots the engine's statistics. Cells still in flight are
+// included with their current (zero) wall time; call it after the
+// experiments have finished for exact numbers.
+func (e *Engine) Report() *Report {
+	e.mu.Lock()
+	cells := make([]*cell, len(e.order))
+	copy(cells, e.order)
+	e.mu.Unlock()
+
+	r := &Report{Jobs: e.jobs, Unique: len(cells)}
+	for _, c := range cells {
+		h, d := c.hits.Load(), c.dedup.Load()
+		r.Hits += h
+		r.Dedups += d
+		r.CellWall += c.wall
+		r.Cells = append(r.Cells, CellStat{Label: c.label, Key: c.key, Wall: c.wall, Hits: h, Dedups: d})
+	}
+	r.Requests = int64(r.Unique) + r.Hits + r.Dedups
+	sort.SliceStable(r.Cells, func(i, j int) bool { return r.Cells[i].Wall > r.Cells[j].Wall })
+	return r
+}
+
+// HitRate is the fraction of cell requests served without a fresh
+// simulation — completed-cache hits plus in-flight dedups over all
+// requests. The acceptance bar for a shared `-exp all` run is ≥ 0.30.
+func (r *Report) HitRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Hits+r.Dedups) / float64(r.Requests)
+}
+
+// Table renders the report: a summary block followed by every unique cell,
+// slowest first.
+func (r *Report) Table() *core.Table {
+	t := &core.Table{
+		Title:  "Run report — simulation cells",
+		Header: []string{"cell", "wall", "hits", "dedups"},
+	}
+	t.AddRow("jobs", fmt.Sprintf("%d", r.Jobs), "", "")
+	t.AddRow("requests", fmt.Sprintf("%d", r.Requests), "", "")
+	t.AddRow(fmt.Sprintf("unique cells (misses) %d", r.Unique),
+		r.CellWall.Round(time.Millisecond).String(),
+		fmt.Sprintf("%d", r.Hits), fmt.Sprintf("%d", r.Dedups))
+	t.AddRow("cache hit rate", fmt.Sprintf("%.1f%%", 100*r.HitRate()), "", "")
+	for _, c := range r.Cells {
+		t.AddRow(c.Label, c.Wall.Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%d", c.Hits), fmt.Sprintf("%d", c.Dedups))
+	}
+	return t
+}

@@ -1,0 +1,127 @@
+// Package runner is the concurrent experiment engine behind the experiments
+// registry. It decomposes every table and figure of the evaluation into
+// *simulation cells* — one (application, model, machine config, workload,
+// processor count) point of the comparison matrix, keyed by a stable
+// content hash (core.CellKey) — and guarantees that each unique cell is
+// simulated exactly once per Engine, however many experiments ask for it.
+//
+// Three mechanisms combine to make `o2kbench -exp all` cost O(unique cells)
+// instead of O(experiments × cells):
+//
+//   - memoization: a completed cell's core.Metrics (or plan set) is cached
+//     under its content hash and served to later requesters;
+//   - single-flight: a cell requested while already in flight blocks its
+//     requester on the one running simulation instead of starting another;
+//   - a bounded worker pool: unique cells execute under a semaphore sized
+//     from GOMAXPROCS (or the -jobs flag), so an entire experiment suite
+//     saturates the host without oversubscribing it.
+//
+// Because the virtual-time simulator is fully deterministic (DESIGN.md §4),
+// a cache hit is provably indistinguishable from a re-run, and table output
+// is byte-identical at any worker count. The Engine also records per-cell
+// wall time and hit/miss/dedup statistics; Report exposes them as the
+// observability hook behind `o2kbench -runreport`.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Engine memoizes simulation cells and bounds their concurrent execution.
+// The zero value is not usable; use New. An Engine is safe for concurrent
+// use and is meant to be shared by every experiment of one invocation —
+// sharing is where the cross-experiment cache hits come from.
+type Engine struct {
+	jobs int
+	sem  chan struct{}
+
+	mu    sync.Mutex
+	cells map[string]*cell
+	order []*cell // insertion order, for stable reports
+}
+
+// cell is one memoized computation: the single-flight slot, its result, and
+// its statistics.
+type cell struct {
+	key   string
+	label string
+	done  chan struct{} // closed once val is set
+	val   any
+	wall  time.Duration // compute wall time (owner only)
+	hits  atomic.Int64  // requests served after completion
+	dedup atomic.Int64  // requests that waited on the in-flight run
+}
+
+// New returns an Engine whose worker pool admits jobs concurrent cell
+// executions; jobs <= 0 selects GOMAXPROCS.
+func New(jobs int) *Engine {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		jobs:  jobs,
+		sem:   make(chan struct{}, jobs),
+		cells: make(map[string]*cell),
+	}
+}
+
+// Jobs returns the worker-pool size.
+func (e *Engine) Jobs() int { return e.jobs }
+
+// Do returns the memoized result of compute under key, running it at most
+// once per Engine. The first requester becomes the owner: it acquires a
+// worker slot, computes, and publishes; concurrent requesters of the same
+// key block on that one execution (single-flight), and later requesters get
+// the cached value immediately.
+//
+// compute must not call Do (directly or through a typed cell helper) —
+// nested acquisition could deadlock the bounded pool. Resolve dependency
+// cells *before* calling Do and capture their results in the closure, as
+// the typed helpers in cells.go do with their plan cells.
+func (e *Engine) Do(key, label string, compute func() any) any {
+	e.mu.Lock()
+	c, ok := e.cells[key]
+	if ok {
+		e.mu.Unlock()
+		select {
+		case <-c.done:
+			c.hits.Add(1)
+		default:
+			c.dedup.Add(1)
+			<-c.done
+		}
+		return c.val
+	}
+	c = &cell{key: key, label: label, done: make(chan struct{})}
+	e.cells[key] = c
+	e.order = append(e.order, c)
+	e.mu.Unlock()
+
+	e.sem <- struct{}{}
+	start := time.Now()
+	c.val = compute()
+	c.wall = time.Since(start)
+	<-e.sem
+	close(c.done)
+	return c.val
+}
+
+// Warm evaluates fns concurrently and waits for all of them. It is the
+// prefetch idiom for experiment builders: fire every cell the table needs,
+// let the worker pool execute the unique ones in parallel, then assemble
+// the table serially from what are now guaranteed cache hits — the
+// assembly order, and hence the output bytes, never depend on the pool.
+func (e *Engine) Warm(fns ...func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"o2k/internal/apps/adaptmesh"
+	"o2k/internal/apps/barnes"
+	"o2k/internal/core"
+	"o2k/internal/machine"
+)
+
+func TestDoMemoizes(t *testing.T) {
+	e := New(2)
+	var calls atomic.Int64
+	for i := 0; i < 5; i++ {
+		v := e.Do("k", "k", func() any { calls.Add(1); return 42 })
+		if v.(int) != 42 {
+			t.Fatalf("Do returned %v", v)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+	r := e.Report()
+	if r.Unique != 1 || r.Hits != 4 || r.Requests != 5 {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	e := New(4)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := e.Do("slow", "slow", func() any {
+				<-gate // hold the cell in flight until everyone has asked
+				calls.Add(1)
+				return "done"
+			})
+			if v.(string) != "done" {
+				t.Errorf("Do returned %v", v)
+			}
+		}()
+	}
+	// Wait until the dedup count shows every non-owner is parked, then
+	// release the one running compute.
+	for e.Report().Dedups != waiters-1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("in-flight cell computed %d times, want 1", calls.Load())
+	}
+}
+
+func TestJobsDefaultsPositive(t *testing.T) {
+	if New(0).Jobs() < 1 || New(-3).Jobs() < 1 {
+		t.Fatal("New must select a positive pool size")
+	}
+}
+
+// TestMeshCellMatchesDirect pins the cell path to the direct RunWithPlans
+// path: memoization must be semantically invisible.
+func TestMeshCellMatchesDirect(t *testing.T) {
+	w := adaptmesh.Small()
+	cfg := machine.Default(4)
+	direct := adaptmesh.RunWithPlans(core.SAS, machine.MustNew(cfg), w, adaptmesh.BuildPlans(w, 4))
+	cell := New(2).Mesh(core.SAS, cfg, w)
+	if direct.Fingerprint() != cell.Fingerprint() {
+		t.Fatalf("cell metrics diverge from direct run:\n cell   %v\n direct %v", cell, direct)
+	}
+}
+
+// TestCacheCorrectness re-requests the same cells and demands 100% cache
+// hits with identical metrics.
+func TestCacheCorrectness(t *testing.T) {
+	e := New(2)
+	w := barnes.Small()
+	cfg := machine.Default(2)
+	first := e.NBodyModels(cfg, w)
+	misses := e.Report().Unique
+	second := e.NBodyModels(cfg, w)
+	r := e.Report()
+	if r.Unique != misses {
+		t.Fatalf("second request simulated %d new cells, want 0", r.Unique-misses)
+	}
+	for i := range first {
+		if first[i].Fingerprint() != second[i].Fingerprint() {
+			t.Fatalf("model %d: cached metrics differ from first run", i)
+		}
+	}
+}
+
+// TestMeshPlanKeyNormalization checks that ablation knobs the plan builder
+// ignores do not split the plan cell.
+func TestMeshPlanKeyNormalization(t *testing.T) {
+	e := New(2)
+	w := adaptmesh.Small()
+	e.MeshPlans(w, 2)
+	base := e.Report().Unique
+
+	wMig := w
+	wMig.SasPageMigrate = true
+	e.MeshPlans(wMig, 2)
+	if got := e.Report().Unique; got != base {
+		t.Fatalf("SasPageMigrate split the plan cell (%d -> %d unique)", base, got)
+	}
+
+	// NoRemap changes the plans and must get its own cell.
+	wOff := w
+	wOff.NoRemap = true
+	e.MeshPlans(wOff, 2)
+	if got := e.Report().Unique; got != base+1 {
+		t.Fatalf("NoRemap plan cell not separate (%d -> %d unique)", base, got)
+	}
+}
+
+func TestReportHitRate(t *testing.T) {
+	e := New(1)
+	e.Do("a", "a", func() any { return 1 })
+	e.Do("a", "a", func() any { return 1 })
+	e.Do("b", "b", func() any { return 2 })
+	r := e.Report()
+	if got, want := r.HitRate(), 1.0/3.0; got != want {
+		t.Fatalf("HitRate = %v, want %v", got, want)
+	}
+	if tb := r.Table(); len(tb.Rows) != 4+r.Unique {
+		t.Fatalf("report table has %d rows, want %d", len(tb.Rows), 4+r.Unique)
+	}
+}
