@@ -3,7 +3,7 @@
 // Usage:
 //
 //	o2kbench [-exp name] [-quick] [-procs 1,2,4,8,16,32,64] [-format text|json]
-//	         [-jobs N] [-runreport] [-list]
+//	         [-jobs N] [-timeout d] [-cellretries N] [-runreport] [-list]
 //
 // Experiments are resolved through the experiments registry: every
 // experiment answers to its semantic name (mesh-speedup) and its paper
@@ -14,15 +14,24 @@
 // unique cell, not one per experiment that mentions it. `-runreport`
 // prints the engine's cell/cache statistics to stderr — stdout carries
 // only the tables and stays byte-identical at any -jobs value.
+//
+// Failure semantics (DESIGN.md §5.3): a cell that panics, exceeds the
+// -timeout deadline, or is cancelled (SIGINT/SIGTERM) becomes a
+// FAILED(<reason>) table entry; the run continues and every healthy entry
+// keeps its exact bytes. Exit status: 0 all cells succeeded, 1 at least
+// one cell failed (partial output), 2 usage error.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"o2k/internal/core"
 	"o2k/internal/experiments"
@@ -61,6 +70,8 @@ func main() {
 	procs := flag.String("procs", "", "comma-separated processor counts (overrides default)")
 	format := flag.String("format", "text", "output format: text or json")
 	jobs := flag.Int("jobs", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-cell compute deadline (0 = none); expired cells render FAILED(timeout)")
+	retries := flag.Int("cellretries", 0, "retry budget for cells that fail with a transient error")
 	runreport := flag.Bool("runreport", false, "print cell cache/timing report to stderr (JSON with -format json)")
 	list := flag.Bool("list", false, "list every experiment name, its aliases, and its description")
 	flag.Parse()
@@ -82,9 +93,21 @@ func main() {
 		}
 		o.Procs = ps
 	}
+	if *retries < 0 {
+		fmt.Fprintln(os.Stderr, "o2kbench: -cellretries must be >= 0")
+		os.Exit(2)
+	}
 	o.Jobs = *jobs
 
-	eng := runner.New(o.Jobs)
+	// SIGINT/SIGTERM cancel the engine: blocked cell requesters unblock with
+	// FAILED(cancelled) entries and the run drains instead of being killed
+	// mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng := runner.NewWithPolicy(ctx, o.Jobs, runner.Policy{
+		CellTimeout: *timeout,
+		Retries:     *retries,
+	})
 	tables, err := experiments.RunOn(eng, *exp, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "o2kbench:", err)
@@ -110,17 +133,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	report := eng.Report()
 	if *runreport {
-		r := eng.Report()
 		if *format == "json" {
 			enc := json.NewEncoder(os.Stderr)
 			enc.SetIndent("", "  ")
-			if err := enc.Encode(r); err != nil {
+			if err := enc.Encode(report); err != nil {
 				fmt.Fprintln(os.Stderr, "o2kbench:", err)
 				os.Exit(1)
 			}
 		} else {
-			fmt.Fprint(os.Stderr, "\n"+r.Table().String())
+			fmt.Fprint(os.Stderr, "\n"+report.Table().String())
 		}
+	}
+	if report.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "o2kbench: %d cell(s) failed; output is partial (rerun with -runreport for details)\n",
+			report.Failures)
+		os.Exit(1)
 	}
 }

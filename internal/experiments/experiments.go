@@ -9,6 +9,12 @@
 // workload, P) cell exactly once, in parallel on a bounded worker pool.
 // Run/RunOn are the entry points; the exported per-artifact functions
 // (Fig2, Table6, …) remain as thin deprecated wrappers over the registry.
+//
+// Cells carry errors (DESIGN.md §5.3): a cell that panicked, timed out, or
+// was cancelled renders as a FAILED(<reason>) table entry via the fmt*
+// helpers below, and the rest of the table — and the rest of the run — is
+// unaffected. Because failed cells only ever replace their own entries, the
+// bytes of all non-failed entries are identical to a fully healthy run.
 package experiments
 
 import (
@@ -58,6 +64,57 @@ func QuickOpts() Opts {
 	}
 }
 
+// Failure-aware cell renderers. Every table entry derived from a metrics
+// cell goes through one of these: a failed cell yields its deterministic
+// FAILED(<reason>) annotation, a healthy cell yields exactly the bytes the
+// pre-failure-semantics code produced.
+
+// fmtT renders a cell's total simulated time.
+func fmtT(r runner.Res) string {
+	if r.Err != nil {
+		return runner.FailLabel(r.Err)
+	}
+	return core.FT(r.M.Total)
+}
+
+// fmtRatio renders num.Total/den.Total; either side's failure wins.
+func fmtRatio(num, den runner.Res) string {
+	if num.Err != nil {
+		return runner.FailLabel(num.Err)
+	}
+	if den.Err != nil {
+		return runner.FailLabel(den.Err)
+	}
+	return core.F(float64(num.M.Total) / float64(den.M.Total))
+}
+
+// fmtSpeedup renders base.Total/r.Total, the scaling figure-of-merit.
+func fmtSpeedup(r, base runner.Res) string {
+	if r.Err != nil {
+		return runner.FailLabel(r.Err)
+	}
+	if base.Err != nil {
+		return runner.FailLabel(base.Err)
+	}
+	return core.F(r.M.Speedup(base.M))
+}
+
+// fmtF renders f(metrics) as a 3-decimal float.
+func fmtF(r runner.Res, f func(core.Metrics) float64) string {
+	if r.Err != nil {
+		return runner.FailLabel(r.Err)
+	}
+	return core.F(f(r.M))
+}
+
+// fmtU renders f(metrics) as an unsigned count (traffic counters).
+func fmtU(r runner.Res, f func(core.Metrics) uint64) string {
+	if r.Err != nil {
+		return runner.FailLabel(r.Err)
+	}
+	return fmt.Sprintf("%d", f(r.M))
+}
+
 // The experiment index, in paper order. Registered here in one place (not
 // per-file init functions) so the registry order is explicit.
 func init() {
@@ -102,64 +159,77 @@ func buildTable1(e *runner.Engine, o Opts) *core.Table {
 	var meshPlans []*adaptmesh.CyclePlan
 	var nbPlans []*barnes.StepPlan
 	var cgPl *cg.Plan
+	var meshErr, nbErr, cgErr error
 	e.Warm(
-		func() { meshPlans = e.MeshPlans(o.MeshW, 1) },
-		func() { nbPlans = e.NBodyPlans(o.NBodyW, 1) },
-		func() { cgPl = e.CGPlan(o.CGW, 1) },
+		func() { meshPlans, meshErr = e.MeshPlans(o.MeshW, 1) },
+		func() { nbPlans, nbErr = e.NBodyPlans(o.NBodyW, 1) },
+		func() { cgPl, cgErr = e.CGPlan(o.CGW, 1) },
 	)
-	last := meshPlans[len(meshPlans)-1]
-	avgT, avgE := 0, 0
-	for _, pl := range meshPlans {
-		avgT += pl.M.NumTris()
-		avgE += pl.M.NumEdges()
+	if meshErr != nil {
+		t.AddRow("adaptive mesh", runner.FailLabel(meshErr), "", "", "", "")
+	} else {
+		last := meshPlans[len(meshPlans)-1]
+		avgT, avgE := 0, 0
+		for _, pl := range meshPlans {
+			avgT += pl.M.NumTris()
+			avgE += pl.M.NumEdges()
+		}
+		t.AddRow("adaptive mesh",
+			fmt.Sprintf("%d tris (final %d)", avgT/len(meshPlans), last.M.NumTris()),
+			fmt.Sprintf("%d edges", avgE/len(meshPlans)),
+			fmt.Sprintf("%d cycles", o.MeshW.Cycles),
+			fmt.Sprintf("%d", o.MeshW.SolveIters),
+			core.F(last.Imbalance))
 	}
-	t.AddRow("adaptive mesh",
-		fmt.Sprintf("%d tris (final %d)", avgT/len(meshPlans), last.M.NumTris()),
-		fmt.Sprintf("%d edges", avgE/len(meshPlans)),
-		fmt.Sprintf("%d cycles", o.MeshW.Cycles),
-		fmt.Sprintf("%d", o.MeshW.SolveIters),
-		core.F(last.Imbalance))
-	inter := 0
-	cells := 0
-	for _, pl := range nbPlans {
-		inter += pl.TotalInter
-		cells += pl.Tree.NumCells()
+	if nbErr != nil {
+		t.AddRow("barnes-hut n-body", runner.FailLabel(nbErr), "", "", "", "")
+	} else {
+		inter := 0
+		cells := 0
+		for _, pl := range nbPlans {
+			inter += pl.TotalInter
+			cells += pl.Tree.NumCells()
+		}
+		t.AddRow("barnes-hut n-body",
+			fmt.Sprintf("%d bodies", o.NBodyW.N),
+			fmt.Sprintf("%d interactions/step", inter/len(nbPlans)),
+			fmt.Sprintf("%d steps", o.NBodyW.Steps),
+			"1",
+			fmt.Sprintf("theta=%.2f, %d cells", o.NBodyW.Theta, cells/len(nbPlans)))
 	}
-	t.AddRow("barnes-hut n-body",
-		fmt.Sprintf("%d bodies", o.NBodyW.N),
-		fmt.Sprintf("%d interactions/step", inter/len(nbPlans)),
-		fmt.Sprintf("%d steps", o.NBodyW.Steps),
-		"1",
-		fmt.Sprintf("theta=%.2f, %d cells", o.NBodyW.Theta, cells/len(nbPlans)))
 	t.AddRow("jacobi stencil (control)",
 		fmt.Sprintf("%dx%d grid", o.StencilW.N, o.StencilW.N),
 		fmt.Sprintf("%d cells/sweep", o.StencilW.N*o.StencilW.N),
 		"static",
 		fmt.Sprintf("%d", o.StencilW.Iters),
 		"1.000")
-	t.AddRow("conjugate gradient",
-		fmt.Sprintf("%d tris", cgPl.M.NumTris()),
-		fmt.Sprintf("%d edges (matrix rows %d)", cgPl.M.NumEdges(), cgPl.M.NumVertsUsed()),
-		"static refined",
-		fmt.Sprintf("%d CG iters", o.CGW.Iters),
-		"2 allreduce/iter")
+	if cgErr != nil {
+		t.AddRow("conjugate gradient", runner.FailLabel(cgErr), "", "", "", "")
+	} else {
+		t.AddRow("conjugate gradient",
+			fmt.Sprintf("%d tris", cgPl.M.NumTris()),
+			fmt.Sprintf("%d edges (matrix rows %d)", cgPl.M.NumEdges(), cgPl.M.NumVertsUsed()),
+			"static refined",
+			fmt.Sprintf("%d CG iters", o.CGW.Iters),
+			"2 allreduce/iter")
+	}
 	return t
 }
 
 func buildFig2(e *runner.Engine, o Opts) *core.Table {
 	return scalingTable(e, "Figure 2 — Adaptive mesh: time and speedup vs processors",
-		o.Procs, func(p int) [3]core.Metrics { return e.MeshModels(machine.Default(p), o.MeshW) })
+		o.Procs, func(p int) [3]runner.Res { return e.MeshModels(machine.Default(p), o.MeshW) })
 }
 
 func buildFig3(e *runner.Engine, o Opts) *core.Table {
 	return scalingTable(e, "Figure 3 — Barnes-Hut N-body: time and speedup vs processors",
-		o.Procs, func(p int) [3]core.Metrics { return e.NBodyModels(machine.Default(p), o.NBodyW) })
+		o.Procs, func(p int) [3]runner.Res { return e.NBodyModels(machine.Default(p), o.NBodyW) })
 }
 
 // scalingTable warms every processor count's cells in parallel, then
 // assembles the rows serially from the (now cached) results, so row order
 // never depends on execution order.
-func scalingTable(e *runner.Engine, title string, procs []int, run func(p int) [3]core.Metrics) *core.Table {
+func scalingTable(e *runner.Engine, title string, procs []int, run func(p int) [3]runner.Res) *core.Table {
 	t := &core.Table{
 		Title: title,
 		Header: []string{"P", "MP time", "SHMEM time", "CC-SAS time",
@@ -171,15 +241,15 @@ func scalingTable(e *runner.Engine, title string, procs []int, run func(p int) [
 		fns[i] = func() { run(p) }
 	}
 	e.Warm(fns...)
-	var base [3]core.Metrics
+	var base [3]runner.Res
 	for i, p := range procs {
 		m := run(p)
 		if i == 0 {
 			base = m
 		}
 		t.AddRow(fmt.Sprintf("%d", p),
-			core.FT(m[0].Total), core.FT(m[1].Total), core.FT(m[2].Total),
-			core.F(m[0].Speedup(base[0])), core.F(m[1].Speedup(base[1])), core.F(m[2].Speedup(base[2])))
+			fmtT(m[0]), fmtT(m[1]), fmtT(m[2]),
+			fmtSpeedup(m[0], base[0]), fmtSpeedup(m[1], base[1]), fmtSpeedup(m[2], base[2]))
 	}
 	return t
 }
@@ -191,20 +261,28 @@ func buildFig4(e *runner.Engine, o Opts) *core.Table {
 		Title:  fmt.Sprintf("Figure 4 — Adaptive mesh phase breakdown at P=%d", p),
 		Header: []string{"phase", "MP", "SHMEM", "CC-SAS"},
 	}
+	phase := func(r runner.Res, ph sim.Phase) string {
+		if r.Err != nil {
+			return runner.FailLabel(r.Err)
+		}
+		return core.FT(r.M.PhaseMax[ph])
+	}
 	for ph := sim.Phase(0); ph < sim.NumPhases; ph++ {
-		if m[0].PhaseMax[ph] == 0 && m[1].PhaseMax[ph] == 0 && m[2].PhaseMax[ph] == 0 {
+		// Failed models contribute zero here, so an all-models failure
+		// collapses the breakdown to the TOTAL row — which carries the
+		// FAILED annotations.
+		if m[0].M.PhaseMax[ph] == 0 && m[1].M.PhaseMax[ph] == 0 && m[2].M.PhaseMax[ph] == 0 {
 			continue
 		}
-		t.AddRow(ph.String(),
-			core.FT(m[0].PhaseMax[ph]), core.FT(m[1].PhaseMax[ph]), core.FT(m[2].PhaseMax[ph]))
+		t.AddRow(ph.String(), phase(m[0], ph), phase(m[1], ph), phase(m[2], ph))
 	}
-	t.AddRow("TOTAL", core.FT(m[0].Total), core.FT(m[1].Total), core.FT(m[2].Total))
+	t.AddRow("TOTAL", fmtT(m[0]), fmtT(m[1]), fmtT(m[2]))
 	return t
 }
 
 func buildTable6(e *runner.Engine, o Opts) *core.Table {
 	p := o.Procs[len(o.Procs)-1]
-	var mm, nb [3]core.Metrics
+	var mm, nb [3]runner.Res
 	e.Warm(
 		func() { mm = e.MeshModels(machine.Default(p), o.MeshW) },
 		func() { nb = e.NBodyModels(machine.Default(p), o.NBodyW) },
@@ -213,14 +291,23 @@ func buildTable6(e *runner.Engine, o Opts) *core.Table {
 		Title:  fmt.Sprintf("Table 6 — Model-visible data memory at P=%d (bytes)", p),
 		Header: []string{"application", "MP", "SHMEM", "CC-SAS", "MP/CC-SAS ratio"},
 	}
-	t.AddRow("adaptive mesh",
-		fmt.Sprintf("%d", mm[0].DataBytes), fmt.Sprintf("%d", mm[1].DataBytes),
-		fmt.Sprintf("%d", mm[2].DataBytes),
-		core.F(float64(mm[0].DataBytes)/float64(mm[2].DataBytes)))
-	t.AddRow("barnes-hut n-body",
-		fmt.Sprintf("%d", nb[0].DataBytes), fmt.Sprintf("%d", nb[1].DataBytes),
-		fmt.Sprintf("%d", nb[2].DataBytes),
-		core.F(float64(nb[0].DataBytes)/float64(nb[2].DataBytes)))
+	bytes := func(r runner.Res) string {
+		if r.Err != nil {
+			return runner.FailLabel(r.Err)
+		}
+		return fmt.Sprintf("%d", r.M.DataBytes)
+	}
+	byteRatio := func(a, b runner.Res) string {
+		if a.Err != nil {
+			return runner.FailLabel(a.Err)
+		}
+		if b.Err != nil {
+			return runner.FailLabel(b.Err)
+		}
+		return core.F(float64(a.M.DataBytes) / float64(b.M.DataBytes))
+	}
+	t.AddRow("adaptive mesh", bytes(mm[0]), bytes(mm[1]), bytes(mm[2]), byteRatio(mm[0], mm[2]))
+	t.AddRow("barnes-hut n-body", bytes(nb[0]), bytes(nb[1]), bytes(nb[2]), byteRatio(nb[0], nb[2]))
 	return t
 }
 
@@ -244,7 +331,7 @@ func buildFig7(e *runner.Engine, o Opts) *core.Table {
 		Title:  fmt.Sprintf("Figure 7 — Sensitivity to remote:local latency ratio (mesh, P=%d)", procs),
 		Header: []string{"ratio", "MP", "SHMEM", "CC-SAS", "CC-SAS/MP"},
 	}
-	res := make([][3]core.Metrics, len(fig7Ratios))
+	res := make([][3]runner.Res, len(fig7Ratios))
 	fns := make([]func(), len(fig7Ratios))
 	for i, ratio := range fig7Ratios {
 		i, ratio := i, ratio
@@ -254,8 +341,7 @@ func buildFig7(e *runner.Engine, o Opts) *core.Table {
 	for i, ratio := range fig7Ratios {
 		m := res[i]
 		t.AddRow(fmt.Sprintf("%.1fx", ratio),
-			core.FT(m[0].Total), core.FT(m[1].Total), core.FT(m[2].Total),
-			core.F(float64(m[2].Total)/float64(m[0].Total)))
+			fmtT(m[0]), fmtT(m[1]), fmtT(m[2]), fmtRatio(m[2], m[0]))
 	}
 	return t
 }
@@ -268,15 +354,20 @@ func buildFig8(e *runner.Engine, o Opts) *core.Table {
 	}
 	wOff := o.MeshW
 	wOff.NoRemap = true
-	var on, off [3]core.Metrics
+	var on, off [3]runner.Res
 	e.Warm(
 		func() { on = e.MeshModels(machine.Default(procs), o.MeshW) },
 		func() { off = e.MeshModels(machine.Default(procs), wOff) },
 	)
+	moved := func(r runner.Res) string {
+		if r.Err != nil {
+			return runner.FailLabel(r.Err)
+		}
+		return core.F(r.M.Extra["moved_weight"])
+	}
 	for i, model := range core.AllModels() {
 		t.AddRow(model.String(),
-			core.FT(on[i].Total), core.FT(off[i].Total),
-			core.F(on[i].Extra["moved_weight"]), core.F(off[i].Extra["moved_weight"]))
+			fmtT(on[i]), fmtT(off[i]), moved(on[i]), moved(off[i]))
 	}
 	return t
 }
@@ -287,7 +378,7 @@ func buildTable9(e *runner.Engine, o Opts) *core.Table {
 		Header: []string{"P", "model", "msgs", "bytes", "remote misses", "coh evictions", "lock ops"},
 	}
 	procs := []int{o.Procs[len(o.Procs)/2], o.Procs[len(o.Procs)-1]}
-	res := make([][3]core.Metrics, len(procs))
+	res := make([][3]runner.Res, len(procs))
 	var wg sync.WaitGroup
 	for i, p := range procs {
 		i, p := i, p
@@ -300,11 +391,13 @@ func buildTable9(e *runner.Engine, o Opts) *core.Table {
 	wg.Wait()
 	for i, p := range procs {
 		for j, model := range core.AllModels() {
-			c := res[i][j].Counters
+			r := res[i][j]
 			t.AddRow(fmt.Sprintf("%d", p), model.String(),
-				fmt.Sprintf("%d", c.MsgsSent), fmt.Sprintf("%d", c.BytesSent),
-				fmt.Sprintf("%d", c.RemoteMisses), fmt.Sprintf("%d", c.CohMisses),
-				fmt.Sprintf("%d", c.LockOps))
+				fmtU(r, func(m core.Metrics) uint64 { return m.Counters.MsgsSent }),
+				fmtU(r, func(m core.Metrics) uint64 { return m.Counters.BytesSent }),
+				fmtU(r, func(m core.Metrics) uint64 { return m.Counters.RemoteMisses }),
+				fmtU(r, func(m core.Metrics) uint64 { return m.Counters.CohMisses }),
+				fmtU(r, func(m core.Metrics) uint64 { return m.Counters.LockOps }))
 		}
 	}
 	return t
@@ -322,8 +415,8 @@ func buildFig10(e *runner.Engine, o Opts) *core.Table {
 		}
 	}
 	type row struct {
-		st0, st2 core.Metrics
-		me, nb   [3]core.Metrics
+		st0, st2 runner.Res
+		me, nb   [3]runner.Res
 	}
 	res := make([]row, len(procs))
 	var fns []func()
@@ -340,9 +433,7 @@ func buildFig10(e *runner.Engine, o Opts) *core.Table {
 	for i, p := range procs {
 		r := res[i]
 		t.AddRow(fmt.Sprintf("%d", p),
-			core.F(float64(r.st0.Total)/float64(r.st2.Total)),
-			core.F(float64(r.me[0].Total)/float64(r.me[2].Total)),
-			core.F(float64(r.nb[0].Total)/float64(r.nb[2].Total)))
+			fmtRatio(r.st0, r.st2), fmtRatio(r.me[0], r.me[2]), fmtRatio(r.nb[0], r.nb[2]))
 	}
 	return t
 }
@@ -360,8 +451,8 @@ func buildFig11(e *runner.Engine, o Opts) *core.Table {
 			procs = append(procs, p)
 		}
 	}
-	ft := make([]core.Metrics, len(procs))
-	pm := make([]core.Metrics, len(procs))
+	ft := make([]runner.Res, len(procs))
+	pm := make([]runner.Res, len(procs))
 	var fns []func()
 	for i, p := range procs {
 		i, p := i, p
@@ -373,9 +464,9 @@ func buildFig11(e *runner.Engine, o Opts) *core.Table {
 	e.Warm(fns...)
 	for i, p := range procs {
 		t.AddRow(fmt.Sprintf("%d", p),
-			core.FT(ft[i].Total), core.FT(pm[i].Total),
-			fmt.Sprintf("%d", ft[i].Counters.RemoteMisses),
-			fmt.Sprintf("%d", pm[i].Counters.RemoteMisses))
+			fmtT(ft[i]), fmtT(pm[i]),
+			fmtU(ft[i], func(m core.Metrics) uint64 { return m.Counters.RemoteMisses }),
+			fmtU(pm[i], func(m core.Metrics) uint64 { return m.Counters.RemoteMisses }))
 	}
 	return t
 }
@@ -406,7 +497,7 @@ func buildFig12(e *runner.Engine, o Opts) *core.Table {
 		Header: []string{"machine", "MP", "SHMEM", "CC-SAS", "winner"},
 	}
 	classes := fig12Classes(procs)
-	res := make([][3]core.Metrics, len(classes))
+	res := make([][3]runner.Res, len(classes))
 	fns := make([]func(), len(classes))
 	for i, cl := range classes {
 		i, cl := i, cl
@@ -414,14 +505,17 @@ func buildFig12(e *runner.Engine, o Opts) *core.Table {
 	}
 	e.Warm(fns...)
 	for i, cl := range classes {
-		best := 0
-		for j := range res[i] {
-			if res[i][j].Total < res[i][best].Total {
-				best = j
+		winner := "n/a" // undecidable when any model's cell failed
+		if !res[i][0].Failed() && !res[i][1].Failed() && !res[i][2].Failed() {
+			best := 0
+			for j := range res[i] {
+				if res[i][j].M.Total < res[i][best].M.Total {
+					best = j
+				}
 			}
+			winner = core.AllModels()[best].String()
 		}
-		t.AddRow(cl.name, core.FT(res[i][0].Total), core.FT(res[i][1].Total), core.FT(res[i][2].Total),
-			core.AllModels()[best].String())
+		t.AddRow(cl.name, fmtT(res[i][0]), fmtT(res[i][1]), fmtT(res[i][2]), winner)
 	}
 	return t
 }
@@ -439,7 +533,7 @@ func buildFig13(e *runner.Engine, o Opts) *core.Table {
 		{"origin2000", machine.Default(procs)},
 		{"cluster of SMPs", machine.ClusterOfSMPs(procs)},
 	}
-	type row struct{ pure, sas, hyb core.Metrics }
+	type row struct{ pure, sas, hyb runner.Res }
 	res := make([]row, len(classes))
 	var fns []func()
 	for i, cl := range classes {
@@ -453,8 +547,7 @@ func buildFig13(e *runner.Engine, o Opts) *core.Table {
 	e.Warm(fns...)
 	for i, cl := range classes {
 		r := res[i]
-		t.AddRow(cl.name, core.FT(r.pure.Total), core.FT(r.hyb.Total), core.FT(r.sas.Total),
-			core.F(float64(r.hyb.Total)/float64(r.pure.Total)))
+		t.AddRow(cl.name, fmtT(r.pure), fmtT(r.hyb), fmtT(r.sas), fmtRatio(r.hyb, r.pure))
 	}
 	return t
 }
@@ -464,19 +557,19 @@ func buildFig14(e *runner.Engine, o Opts) *core.Table {
 		Title:  "Figure 14 — Conjugate gradient: time vs processors, reduction share",
 		Header: []string{"P", "MP", "SHMEM", "CC-SAS", "MP sync frac", "CC-SAS sync frac"},
 	}
-	res := make([][3]core.Metrics, len(o.Procs))
+	res := make([][3]runner.Res, len(o.Procs))
 	fns := make([]func(), len(o.Procs))
 	for i, p := range o.Procs {
 		i, p := i, p
 		fns[i] = func() { res[i] = e.CGModels(machine.Default(p), o.CGW) }
 	}
 	e.Warm(fns...)
+	syncFrac := func(m core.Metrics) float64 { return m.PhaseFraction(sim.PhaseSync) }
 	for i, p := range o.Procs {
 		met := res[i]
 		t.AddRow(fmt.Sprintf("%d", p),
-			core.FT(met[0].Total), core.FT(met[1].Total), core.FT(met[2].Total),
-			core.F(met[0].PhaseFraction(sim.PhaseSync)),
-			core.F(met[2].PhaseFraction(sim.PhaseSync)))
+			fmtT(met[0]), fmtT(met[1]), fmtT(met[2]),
+			fmtF(met[0], syncFrac), fmtF(met[2], syncFrac))
 	}
 	return t
 }

@@ -108,7 +108,24 @@ func RunOn(e *runner.Engine, name string, o Opts) ([]*core.Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q (run -list for the index)", name)
 	}
-	return []*core.Table{s.Build(e, o)}, nil
+	return []*core.Table{buildSafe(s, e, o)}, nil
+}
+
+// buildSafe runs one builder with panic recovery: cell failures are already
+// values (runner.Res), so a builder panic is a bug in the assembly code
+// itself — degrade it to a one-row error table rather than killing every
+// other experiment of the run.
+func buildSafe(s Spec, e *runner.Engine, o Opts) (t *core.Table) {
+	defer func() {
+		if r := recover(); r != nil {
+			t = &core.Table{
+				Title:  s.Title,
+				Header: []string{"error"},
+				Rows:   [][]string{{fmt.Sprintf("FAILED(builder panic: %v)", r)}},
+			}
+		}
+	}()
+	return s.Build(e, o)
 }
 
 // RunAll builds every non-standalone experiment on the shared engine.
@@ -126,7 +143,7 @@ func RunAll(e *runner.Engine, o Opts) []*core.Table {
 		wg.Add(1)
 		go func(i int, s Spec) {
 			defer wg.Done()
-			out[i] = s.Build(e, o)
+			out[i] = buildSafe(s, e, o)
 		}(i, s)
 	}
 	wg.Wait()

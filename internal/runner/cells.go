@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 
 	"o2k/internal/apps/adaptmesh"
@@ -21,7 +22,29 @@ import (
 //
 // Dependency discipline: every helper resolves its plan cell *before*
 // entering Do, so a goroutine never holds a worker slot while waiting for
-// another cell — the bounded pool cannot deadlock, even at -jobs=1.
+// another cell — the bounded pool cannot deadlock, even at -jobs=1. A plan
+// cell's failure propagates to every run cell that depends on it without
+// starting the run.
+
+// Res is the outcome of one metrics cell: the run's metrics, or the error
+// that kept them from being produced. Experiment builders render a failed
+// Res as a FAILED(<reason>) table entry (see FailLabel) and keep going —
+// one bad cell degrades one entry, never the whole run.
+type Res struct {
+	M   core.Metrics
+	Err error
+}
+
+// Failed reports whether the cell produced an error instead of metrics.
+func (r Res) Failed() bool { return r.Err != nil }
+
+// metricsRes adapts a Do outcome to a Res.
+func metricsRes(v any, err error) Res {
+	if err != nil {
+		return Res{Err: err}
+	}
+	return Res{M: v.(core.Metrics)}
+}
 
 // meshPlanWorkload strips the workload fields that BuildPlans does not read
 // (solver depth, auxiliary field count, the CC-SAS page-migration knob), so
@@ -37,106 +60,125 @@ func meshPlanWorkload(w adaptmesh.Workload) adaptmesh.Workload {
 
 // MeshPlans returns the memoized cycle plans for the mesh workload at the
 // given processor count.
-func (e *Engine) MeshPlans(w adaptmesh.Workload, procs int) []*adaptmesh.CyclePlan {
+func (e *Engine) MeshPlans(w adaptmesh.Workload, procs int) ([]*adaptmesh.CyclePlan, error) {
 	pw := meshPlanWorkload(w)
 	key := core.CellKey("mesh/plans", pw, procs)
-	v := e.Do(key, fmt.Sprintf("mesh plans P=%d", procs), func() any {
-		return adaptmesh.BuildPlans(pw, procs)
+	v, err := e.Do(key, fmt.Sprintf("mesh plans P=%d", procs), func(context.Context) (any, error) {
+		return adaptmesh.BuildPlans(pw, procs), nil
 	})
-	return v.([]*adaptmesh.CyclePlan)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*adaptmesh.CyclePlan), nil
 }
 
 // Mesh runs the adaptive-mesh application under one model on one machine
 // configuration (cfg.Procs is the processor count), memoized.
-func (e *Engine) Mesh(model core.Model, cfg machine.Config, w adaptmesh.Workload) core.Metrics {
-	plans := e.MeshPlans(w, cfg.Procs)
+func (e *Engine) Mesh(model core.Model, cfg machine.Config, w adaptmesh.Workload) Res {
+	plans, err := e.MeshPlans(w, cfg.Procs)
+	if err != nil {
+		return Res{Err: fmt.Errorf("mesh plans: %w", err)}
+	}
 	key := core.CellKey("mesh/run", model, cfg, w)
-	v := e.Do(key, fmt.Sprintf("mesh %v P=%d", model, cfg.Procs), func() any {
-		return adaptmesh.RunWithPlans(model, machine.MustNew(cfg), w, plans)
-	})
-	return v.(core.Metrics)
+	return metricsRes(e.Do(key, fmt.Sprintf("mesh %v P=%d", model, cfg.Procs), func(context.Context) (any, error) {
+		return adaptmesh.RunWithPlans(model, machine.MustNew(cfg), w, plans), nil
+	}))
 }
 
 // MeshModels runs the mesh application under all three models, in parallel
-// where the pool allows, returning metrics in core.AllModels order.
-func (e *Engine) MeshModels(cfg machine.Config, w adaptmesh.Workload) [3]core.Metrics {
-	var out [3]core.Metrics
+// where the pool allows, returning outcomes in core.AllModels order.
+func (e *Engine) MeshModels(cfg machine.Config, w adaptmesh.Workload) [3]Res {
+	var out [3]Res
 	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.Mesh(m, cfg, w) })...)
 	return out
 }
 
 // MeshHybrid runs the MP+SAS hybrid mesh extension: plans are built at the
 // machine's node count (one MP rank per node board).
-func (e *Engine) MeshHybrid(cfg machine.Config, w adaptmesh.Workload) core.Metrics {
-	m := machine.MustNew(cfg)
-	plans := e.MeshPlans(w, m.Nodes())
+func (e *Engine) MeshHybrid(cfg machine.Config, w adaptmesh.Workload) Res {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return Res{Err: fmt.Errorf("machine: %w", err)}
+	}
+	plans, err := e.MeshPlans(w, m.Nodes())
+	if err != nil {
+		return Res{Err: fmt.Errorf("mesh plans: %w", err)}
+	}
 	key := core.CellKey("mesh/hybrid", cfg, w)
-	v := e.Do(key, fmt.Sprintf("mesh MP+SAS P=%d", cfg.Procs), func() any {
-		return adaptmesh.RunHybridWithPlans(m, w, plans)
-	})
-	return v.(core.Metrics)
+	return metricsRes(e.Do(key, fmt.Sprintf("mesh MP+SAS P=%d", cfg.Procs), func(context.Context) (any, error) {
+		return adaptmesh.RunHybridWithPlans(m, w, plans), nil
+	}))
 }
 
 // NBodyPlans returns the memoized per-step plans for the N-body workload.
-func (e *Engine) NBodyPlans(w barnes.Workload, procs int) []*barnes.StepPlan {
+func (e *Engine) NBodyPlans(w barnes.Workload, procs int) ([]*barnes.StepPlan, error) {
 	key := core.CellKey("nbody/plans", w, procs)
-	v := e.Do(key, fmt.Sprintf("n-body plans P=%d", procs), func() any {
-		return barnes.BuildPlans(w, procs)
+	v, err := e.Do(key, fmt.Sprintf("n-body plans P=%d", procs), func(context.Context) (any, error) {
+		return barnes.BuildPlans(w, procs), nil
 	})
-	return v.([]*barnes.StepPlan)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*barnes.StepPlan), nil
 }
 
 // NBody runs the Barnes-Hut application under one model, memoized.
-func (e *Engine) NBody(model core.Model, cfg machine.Config, w barnes.Workload) core.Metrics {
-	plans := e.NBodyPlans(w, cfg.Procs)
+func (e *Engine) NBody(model core.Model, cfg machine.Config, w barnes.Workload) Res {
+	plans, err := e.NBodyPlans(w, cfg.Procs)
+	if err != nil {
+		return Res{Err: fmt.Errorf("n-body plans: %w", err)}
+	}
 	key := core.CellKey("nbody/run", model, cfg, w)
-	v := e.Do(key, fmt.Sprintf("n-body %v P=%d", model, cfg.Procs), func() any {
-		return barnes.RunWithPlans(model, machine.MustNew(cfg), w, plans)
-	})
-	return v.(core.Metrics)
+	return metricsRes(e.Do(key, fmt.Sprintf("n-body %v P=%d", model, cfg.Procs), func(context.Context) (any, error) {
+		return barnes.RunWithPlans(model, machine.MustNew(cfg), w, plans), nil
+	}))
 }
 
 // NBodyModels runs the N-body application under all three models.
-func (e *Engine) NBodyModels(cfg machine.Config, w barnes.Workload) [3]core.Metrics {
-	var out [3]core.Metrics
+func (e *Engine) NBodyModels(cfg machine.Config, w barnes.Workload) [3]Res {
+	var out [3]Res
 	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.NBody(m, cfg, w) })...)
 	return out
 }
 
 // CGPlan returns the memoized static plan for the conjugate-gradient run.
-func (e *Engine) CGPlan(w cg.Workload, procs int) *cg.Plan {
+func (e *Engine) CGPlan(w cg.Workload, procs int) (*cg.Plan, error) {
 	key := core.CellKey("cg/plan", w, procs)
-	v := e.Do(key, fmt.Sprintf("cg plan P=%d", procs), func() any {
-		return cg.BuildPlan(w, procs)
+	v, err := e.Do(key, fmt.Sprintf("cg plan P=%d", procs), func(context.Context) (any, error) {
+		return cg.BuildPlan(w, procs), nil
 	})
-	return v.(*cg.Plan)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*cg.Plan), nil
 }
 
 // CG runs the conjugate-gradient application under one model, memoized.
-func (e *Engine) CG(model core.Model, cfg machine.Config, w cg.Workload) core.Metrics {
-	plan := e.CGPlan(w, cfg.Procs)
+func (e *Engine) CG(model core.Model, cfg machine.Config, w cg.Workload) Res {
+	plan, err := e.CGPlan(w, cfg.Procs)
+	if err != nil {
+		return Res{Err: fmt.Errorf("cg plan: %w", err)}
+	}
 	key := core.CellKey("cg/run", model, cfg, w)
-	v := e.Do(key, fmt.Sprintf("cg %v P=%d", model, cfg.Procs), func() any {
-		return cg.RunWithPlan(model, machine.MustNew(cfg), w, plan)
-	})
-	return v.(core.Metrics)
+	return metricsRes(e.Do(key, fmt.Sprintf("cg %v P=%d", model, cfg.Procs), func(context.Context) (any, error) {
+		return cg.RunWithPlan(model, machine.MustNew(cfg), w, plan), nil
+	}))
 }
 
 // CGModels runs the conjugate-gradient application under all three models.
-func (e *Engine) CGModels(cfg machine.Config, w cg.Workload) [3]core.Metrics {
-	var out [3]core.Metrics
+func (e *Engine) CGModels(cfg machine.Config, w cg.Workload) [3]Res {
+	var out [3]Res
 	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.CG(m, cfg, w) })...)
 	return out
 }
 
 // Stencil runs the regular Jacobi control application under one model;
 // it has no plan stage.
-func (e *Engine) Stencil(model core.Model, cfg machine.Config, w stencil.Workload) core.Metrics {
+func (e *Engine) Stencil(model core.Model, cfg machine.Config, w stencil.Workload) Res {
 	key := core.CellKey("stencil/run", model, cfg, w)
-	v := e.Do(key, fmt.Sprintf("stencil %v P=%d", model, cfg.Procs), func() any {
-		return stencil.Run(model, machine.MustNew(cfg), w)
-	})
-	return v.(core.Metrics)
+	return metricsRes(e.Do(key, fmt.Sprintf("stencil %v P=%d", model, cfg.Procs), func(context.Context) (any, error) {
+		return stencil.Run(model, machine.MustNew(cfg), w), nil
+	}))
 }
 
 // modelFns adapts a per-model assignment to Warm's closure list.

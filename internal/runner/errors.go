@@ -1,0 +1,72 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// PanicError is the cached error of a cell whose compute panicked. The owner
+// goroutine recovers the panic, so a wedged or buggy cell fails with a
+// diagnostic instead of crashing the process — and, critically, instead of
+// leaving its done channel open and deadlocking every later requester.
+type PanicError struct {
+	Cell   string // the cell's human-readable label
+	Reason any    // the recovered panic value
+	Stack  []byte // stack of the computing goroutine at panic time
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cell %s: panic: %v", e.Cell, e.Reason)
+}
+
+// Unwrap exposes an error panic value (e.g. a *sim.ProcPanic wrapping a
+// *sim.StallError) to errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Reason.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// transientError marks an error as retryable under the engine's Policy.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so the engine's retry policy treats the failure as
+// retryable. Deterministic failures (panics, timeouts, assertion errors)
+// must not be wrapped: retrying them burns attempts on the same outcome.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable via Transient.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// FailLabel renders a failed cell for table output: a deterministic, compact
+// FAILED(<reason>) annotation. Non-failed cells render their value; failed
+// cells render this, so the non-failed bytes of a table never depend on
+// which cells failed.
+func FailLabel(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return "FAILED(timeout)"
+	case errors.Is(err, context.Canceled):
+		return "FAILED(cancelled)"
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return fmt.Sprintf("FAILED(panic: %v)", pe.Reason)
+	}
+	return fmt.Sprintf("FAILED(%v)", err)
+}

@@ -10,11 +10,14 @@ import (
 
 // CellStat is one unique cell's execution record.
 type CellStat struct {
-	Label  string        `json:"label"`   // human-readable cell description
-	Key    string        `json:"key"`     // content hash (core.CellKey)
-	Wall   time.Duration `json:"wall_ns"` // compute wall time paid by the owner
-	Hits   int64         `json:"hits"`    // requests served from the completed cache entry
-	Dedups int64         `json:"dedups"`  // requests that shared the in-flight execution
+	Label    string        `json:"label"`               // human-readable cell description
+	Key      string        `json:"key"`                 // content hash (core.CellKey)
+	Wall     time.Duration `json:"wall_ns"`             // compute wall time paid by the owner
+	Hits     int64         `json:"hits"`                // requests served from the completed cache entry
+	Dedups   int64         `json:"dedups"`              // requests that shared the in-flight execution
+	Attempts int           `json:"attempts"`            // compute executions (1 unless retried)
+	Err      string        `json:"err,omitempty"`       // the cell's failure, empty on success
+	InFlight bool          `json:"in_flight,omitempty"` // still computing at snapshot time
 }
 
 // Report is the engine's execution summary: how many cell requests the
@@ -27,13 +30,18 @@ type Report struct {
 	Requests int64         `json:"requests"`
 	Hits     int64         `json:"hits"`
 	Dedups   int64         `json:"dedups"`
+	Failures int           `json:"failures"`     // completed cells that ended in error
 	CellWall time.Duration `json:"cell_wall_ns"` // summed compute time of all unique cells
 	Cells    []CellStat    `json:"cells"`        // sorted by wall time, descending
 }
 
-// Report snapshots the engine's statistics. Cells still in flight are
-// included with their current (zero) wall time; call it after the
-// experiments have finished for exact numbers.
+// Report snapshots the engine's statistics. It is safe to call while cells
+// are still computing: per-cell result fields (wall time, attempts, error)
+// are written by the owner goroutine and published by the close of the
+// cell's done channel, so the snapshot reads them only for completed cells —
+// an in-flight cell contributes its label and request counters and is marked
+// InFlight. Call Report after the experiments have finished for exact
+// numbers.
 func (e *Engine) Report() *Report {
 	e.mu.Lock()
 	cells := make([]*cell, len(e.order))
@@ -42,11 +50,21 @@ func (e *Engine) Report() *Report {
 
 	r := &Report{Jobs: e.jobs, Unique: len(cells)}
 	for _, c := range cells {
-		h, d := c.hits.Load(), c.dedup.Load()
-		r.Hits += h
-		r.Dedups += d
-		r.CellWall += c.wall
-		r.Cells = append(r.Cells, CellStat{Label: c.label, Key: c.key, Wall: c.wall, Hits: h, Dedups: d})
+		s := CellStat{Label: c.label, Key: c.key, Hits: c.hits.Load(), Dedups: c.dedup.Load()}
+		select {
+		case <-c.done:
+			s.Wall, s.Attempts = c.wall, c.attempts
+			if c.err != nil {
+				s.Err = c.err.Error()
+				r.Failures++
+			}
+		default:
+			s.InFlight = true
+		}
+		r.Hits += s.Hits
+		r.Dedups += s.Dedups
+		r.CellWall += s.Wall
+		r.Cells = append(r.Cells, s)
 	}
 	r.Requests = int64(r.Unique) + r.Hits + r.Dedups
 	sort.SliceStable(r.Cells, func(i, j int) bool { return r.Cells[i].Wall > r.Cells[j].Wall })
@@ -64,7 +82,8 @@ func (r *Report) HitRate() float64 {
 }
 
 // Table renders the report: a summary block followed by every unique cell,
-// slowest first.
+// slowest first. Failed cells carry their FAILED(<reason>) annotation in
+// the wall column.
 func (r *Report) Table() *core.Table {
 	t := &core.Table{
 		Title:  "Run report — simulation cells",
@@ -76,9 +95,18 @@ func (r *Report) Table() *core.Table {
 		r.CellWall.Round(time.Millisecond).String(),
 		fmt.Sprintf("%d", r.Hits), fmt.Sprintf("%d", r.Dedups))
 	t.AddRow("cache hit rate", fmt.Sprintf("%.1f%%", 100*r.HitRate()), "", "")
+	if r.Failures > 0 {
+		t.AddRow("failed cells", fmt.Sprintf("%d", r.Failures), "", "")
+	}
 	for _, c := range r.Cells {
-		t.AddRow(c.Label, c.Wall.Round(10*time.Microsecond).String(),
-			fmt.Sprintf("%d", c.Hits), fmt.Sprintf("%d", c.Dedups))
+		wall := c.Wall.Round(10 * time.Microsecond).String()
+		switch {
+		case c.InFlight:
+			wall = "(in flight)"
+		case c.Err != "":
+			wall = fmt.Sprintf("%s FAILED(%s)", wall, c.Err)
+		}
+		t.AddRow(c.Label, wall, fmt.Sprintf("%d", c.Hits), fmt.Sprintf("%d", c.Dedups))
 	}
 	return t
 }

@@ -21,92 +21,229 @@
 // is byte-identical at any worker count. The Engine also records per-cell
 // wall time and hit/miss/dedup statistics; Report exposes them as the
 // observability hook behind `o2kbench -runreport`.
+//
+// Cells carry errors, not just values (DESIGN.md §5.3): a compute that
+// panics, times out, or fails is published as the cell's error and served to
+// every requester, so one wedged cell degrades one table entry instead of
+// deadlocking the run. The engine is cancellable as a whole (NewWithPolicy's
+// context), bounds each attempt with a per-cell timeout, and retries
+// failures marked Transient with exponential backoff.
 package runner
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// Policy is the engine's fault-tolerance configuration. The zero value means
+// no per-cell timeout and no retries — every failure is final on the first
+// attempt.
+type Policy struct {
+	// CellTimeout bounds each compute attempt; 0 means no bound. On expiry
+	// the attempt's requesters get context.DeadlineExceeded while the
+	// compute goroutine keeps its worker slot until it actually returns
+	// (the sim stall watchdog guarantees it eventually does), so the pool
+	// is never oversubscribed.
+	CellTimeout time.Duration
+	// Retries is the number of extra attempts granted to a compute whose
+	// error is marked Transient. Deterministic failures are never retried.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt.
+	// 0 selects 10ms when Retries > 0.
+	Backoff time.Duration
+}
+
+// backoff returns the sleep before retry attempt i (0-based).
+func (p Policy) backoff(i int) time.Duration {
+	b := p.Backoff
+	if b <= 0 {
+		b = 10 * time.Millisecond
+	}
+	return b << i
+}
+
 // Engine memoizes simulation cells and bounds their concurrent execution.
-// The zero value is not usable; use New. An Engine is safe for concurrent
-// use and is meant to be shared by every experiment of one invocation —
-// sharing is where the cross-experiment cache hits come from.
+// The zero value is not usable; use New or NewWithPolicy. An Engine is safe
+// for concurrent use and is meant to be shared by every experiment of one
+// invocation — sharing is where the cross-experiment cache hits come from.
 type Engine struct {
-	jobs int
-	sem  chan struct{}
+	jobs   int
+	sem    chan struct{}
+	pol    Policy
+	ctx    context.Context
+	cancel context.CancelCauseFunc
 
 	mu    sync.Mutex
 	cells map[string]*cell
 	order []*cell // insertion order, for stable reports
 }
 
-// cell is one memoized computation: the single-flight slot, its result, and
-// its statistics.
+// cell is one memoized computation: the single-flight slot, its result or
+// error, and its statistics. val, err, wall, and attempts are written only
+// by the owner goroutine before done is closed; readers must observe done
+// first (close(done) is the publication barrier).
 type cell struct {
-	key   string
-	label string
-	done  chan struct{} // closed once val is set
-	val   any
-	wall  time.Duration // compute wall time (owner only)
-	hits  atomic.Int64  // requests served after completion
-	dedup atomic.Int64  // requests that waited on the in-flight run
+	key      string
+	label    string
+	done     chan struct{} // closed once val/err are set
+	val      any
+	err      error
+	wall     time.Duration // compute wall time across all attempts
+	attempts int           // times compute actually ran
+	hits     atomic.Int64  // requests served after completion
+	dedup    atomic.Int64  // requests that waited on the in-flight run
 }
 
 // New returns an Engine whose worker pool admits jobs concurrent cell
-// executions; jobs <= 0 selects GOMAXPROCS.
+// executions; jobs <= 0 selects GOMAXPROCS. The engine has a zero Policy
+// and a background context — use NewWithPolicy for timeouts, retries, or
+// engine-wide cancellation.
 func New(jobs int) *Engine {
+	return NewWithPolicy(context.Background(), jobs, Policy{})
+}
+
+// NewWithPolicy is New with fault-tolerance configuration: cancelling ctx
+// (or calling Cancel) aborts every pending and future cell request, and pol
+// sets the per-cell timeout and retry budget.
+func NewWithPolicy(ctx context.Context, jobs int, pol Policy) *Engine {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ectx, cancel := context.WithCancelCause(ctx)
 	return &Engine{
-		jobs:  jobs,
-		sem:   make(chan struct{}, jobs),
-		cells: make(map[string]*cell),
+		jobs:   jobs,
+		sem:    make(chan struct{}, jobs),
+		pol:    pol,
+		ctx:    ectx,
+		cancel: cancel,
+		cells:  make(map[string]*cell),
 	}
 }
 
 // Jobs returns the worker-pool size.
 func (e *Engine) Jobs() int { return e.jobs }
 
+// Cancel aborts the engine: every blocked requester unblocks with cause
+// (context.Canceled if nil) and future requests fail fast. In-flight compute
+// goroutines run to completion but publish the cancellation error.
+func (e *Engine) Cancel(cause error) { e.cancel(cause) }
+
 // Do returns the memoized result of compute under key, running it at most
 // once per Engine. The first requester becomes the owner: it acquires a
-// worker slot, computes, and publishes; concurrent requesters of the same
-// key block on that one execution (single-flight), and later requesters get
-// the cached value immediately.
+// worker slot, computes (with the Policy's timeout and retry budget), and
+// publishes; concurrent requesters of the same key block on that one
+// execution (single-flight), and later requesters get the cached outcome
+// immediately. Failures are outcomes too: a panic, timeout, or returned
+// error is published as the cell's error to every requester — waiters
+// always unblock, and a subsequent request of the same key returns the
+// cached error without recomputing.
+//
+// compute receives a context cancelled at the per-cell deadline or on
+// engine cancellation; long-running computes may observe it, but the
+// simulation runtime's stall watchdog is the backstop for those that don't.
 //
 // compute must not call Do (directly or through a typed cell helper) —
 // nested acquisition could deadlock the bounded pool. Resolve dependency
 // cells *before* calling Do and capture their results in the closure, as
 // the typed helpers in cells.go do with their plan cells.
-func (e *Engine) Do(key, label string, compute func() any) any {
+func (e *Engine) Do(key, label string, compute func(ctx context.Context) (any, error)) (any, error) {
 	e.mu.Lock()
-	c, ok := e.cells[key]
-	if ok {
+	if c, ok := e.cells[key]; ok {
 		e.mu.Unlock()
 		select {
 		case <-c.done:
 			c.hits.Add(1)
 		default:
 			c.dedup.Add(1)
-			<-c.done
+			select {
+			case <-c.done:
+			case <-e.ctx.Done():
+				return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx))
+			}
 		}
-		return c.val
+		return c.val, c.err
 	}
-	c = &cell{key: key, label: label, done: make(chan struct{})}
+	c := &cell{key: key, label: label, done: make(chan struct{})}
 	e.cells[key] = c
 	e.order = append(e.order, c)
 	e.mu.Unlock()
 
-	e.sem <- struct{}{}
+	// Owner path. Whatever happens inside run — success, error, panic,
+	// timeout, cancellation — the cell's outcome is published and done is
+	// closed, so no requester can block forever on this key.
 	start := time.Now()
-	c.val = compute()
+	c.val, c.err, c.attempts = e.run(label, compute)
 	c.wall = time.Since(start)
-	<-e.sem
 	close(c.done)
-	return c.val
+	return c.val, c.err
+}
+
+// run executes compute under the engine's retry policy and returns the final
+// outcome and the number of attempts actually made.
+func (e *Engine) run(label string, compute func(ctx context.Context) (any, error)) (val any, err error, attempts int) {
+	for {
+		val, err = e.attempt(label, compute)
+		attempts++
+		if err == nil || !IsTransient(err) || attempts > e.pol.Retries {
+			return val, err, attempts
+		}
+		select {
+		case <-time.After(e.pol.backoff(attempts - 1)):
+		case <-e.ctx.Done():
+			return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx)), attempts
+		}
+	}
+}
+
+// attempt runs compute once: acquire a worker slot (or fail on engine
+// cancellation), execute on a child goroutine with panic recovery, and wait
+// for the result or the per-cell deadline. The child releases the slot when
+// compute actually returns — a timed-out compute keeps its slot until then,
+// so the pool never runs more than jobs simulations at once.
+func (e *Engine) attempt(label string, compute func(ctx context.Context) (any, error)) (any, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-e.ctx.Done():
+		return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx))
+	}
+
+	ctx := e.ctx
+	cancel := context.CancelFunc(func() {})
+	if e.pol.CellTimeout > 0 {
+		ctx, cancel = context.WithTimeout(e.ctx, e.pol.CellTimeout)
+	}
+	defer cancel()
+
+	type outcome struct {
+		val any
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: the child never blocks if we left
+	go func() {
+		defer func() { <-e.sem }()
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: &PanicError{Cell: label, Reason: r, Stack: debug.Stack()}}
+			}
+		}()
+		v, err := compute(ctx)
+		ch <- outcome{val: v, err: err}
+	}()
+
+	select {
+	case out := <-ch:
+		return out.val, out.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("cell %s: %w", label, context.Cause(ctx))
+	}
 }
 
 // Warm evaluates fns concurrently and waits for all of them. It is the

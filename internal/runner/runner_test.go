@@ -1,10 +1,14 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"o2k/internal/apps/adaptmesh"
 	"o2k/internal/apps/barnes"
@@ -12,20 +16,25 @@ import (
 	"o2k/internal/machine"
 )
 
+// ok is a compute adapter for cells that cannot fail.
+func ok(v any) func(context.Context) (any, error) {
+	return func(context.Context) (any, error) { return v, nil }
+}
+
 func TestDoMemoizes(t *testing.T) {
 	e := New(2)
 	var calls atomic.Int64
 	for i := 0; i < 5; i++ {
-		v := e.Do("k", "k", func() any { calls.Add(1); return 42 })
-		if v.(int) != 42 {
-			t.Fatalf("Do returned %v", v)
+		v, err := e.Do("k", "k", func(context.Context) (any, error) { calls.Add(1); return 42, nil })
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("Do returned %v, %v", v, err)
 		}
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("compute ran %d times, want 1", calls.Load())
 	}
 	r := e.Report()
-	if r.Unique != 1 || r.Hits != 4 || r.Requests != 5 {
+	if r.Unique != 1 || r.Hits != 4 || r.Requests != 5 || r.Failures != 0 {
 		t.Fatalf("report = %+v", r)
 	}
 }
@@ -40,13 +49,13 @@ func TestDoSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v := e.Do("slow", "slow", func() any {
+			v, err := e.Do("slow", "slow", func(context.Context) (any, error) {
 				<-gate // hold the cell in flight until everyone has asked
 				calls.Add(1)
-				return "done"
+				return "done", nil
 			})
-			if v.(string) != "done" {
-				t.Errorf("Do returned %v", v)
+			if err != nil || v.(string) != "done" {
+				t.Errorf("Do returned %v, %v", v, err)
 			}
 		}()
 	}
@@ -68,6 +77,223 @@ func TestJobsDefaultsPositive(t *testing.T) {
 	}
 }
 
+// TestPanickingCellDoesNotDeadlock is the headline regression test: one
+// cell's compute panics while 8 goroutines request it concurrently. Every
+// requester must unblock with the panic in the cell's error (no poisoned
+// done channel), the owner's worker slot must be released (a subsequent
+// unrelated cell still runs), and the panic reason must appear in Report.
+func TestPanickingCellDoesNotDeadlock(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		jobs int
+	}{
+		{"jobs=1", 1}, // one slot: a leaked slot would wedge the engine outright
+		{"jobs=4", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(tc.jobs)
+			const requesters = 8
+			errs := make(chan error, requesters)
+			for i := 0; i < requesters; i++ {
+				go func() {
+					_, err := e.Do("bad", "bad cell", func(context.Context) (any, error) {
+						panic("boom: simulated cell bug")
+					})
+					errs <- err
+				}()
+			}
+			for i := 0; i < requesters; i++ {
+				select {
+				case err := <-errs:
+					var pe *PanicError
+					if !errors.As(err, &pe) {
+						t.Fatalf("requester %d: err = %v, want *PanicError", i, err)
+					}
+					if !strings.Contains(err.Error(), "boom: simulated cell bug") {
+						t.Fatalf("panic reason lost: %v", err)
+					}
+				case <-time.After(10 * time.Second):
+					t.Fatalf("requester %d still blocked: poisoned-cell deadlock", i)
+				}
+			}
+			// Slot recovery: an unrelated cell must still run.
+			done := make(chan struct{})
+			go func() {
+				if v, err := e.Do("good", "good", ok(7)); err != nil || v.(int) != 7 {
+					t.Errorf("follow-up cell: %v, %v", v, err)
+				}
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("follow-up cell blocked: worker slot leaked by the panicking owner")
+			}
+			// The failure is memoized and visible in the report.
+			if _, err := e.Do("bad", "bad cell", ok(nil)); err == nil {
+				t.Fatal("re-request of the failed cell lost its error")
+			}
+			r := e.Report()
+			if r.Failures != 1 {
+				t.Fatalf("Failures = %d, want 1", r.Failures)
+			}
+			found := false
+			for _, c := range r.Cells {
+				if c.Label == "bad cell" && strings.Contains(c.Err, "boom: simulated cell bug") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("panic reason missing from report: %+v", r.Cells)
+			}
+		})
+	}
+}
+
+func TestCellError(t *testing.T) {
+	e := New(1)
+	sentinel := errors.New("compute says no")
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, err := e.Do("err", "err", func(context.Context) (any, error) {
+			calls.Add(1)
+			return nil, sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want sentinel", err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("failed cell recomputed %d times; errors must be memoized", calls.Load())
+	}
+}
+
+func TestCellTimeout(t *testing.T) {
+	e := NewWithPolicy(context.Background(), 2, Policy{CellTimeout: 20 * time.Millisecond})
+	release := make(chan struct{})
+	defer close(release)
+	start := time.Now()
+	_, err := e.Do("hang", "hang", func(context.Context) (any, error) {
+		<-release // a compute that never finishes on its own
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not bound the wait")
+	}
+	if got := FailLabel(err); got != "FAILED(timeout)" {
+		t.Fatalf("FailLabel = %q", got)
+	}
+}
+
+func TestEngineCancelUnblocksWaiters(t *testing.T) {
+	e := NewWithPolicy(context.Background(), 1, Policy{})
+	gate := make(chan struct{})
+	defer close(gate)
+	go e.Do("held", "held", func(context.Context) (any, error) { <-gate; return 1, nil })
+	for e.Report().Unique != 1 {
+		runtime.Gosched()
+	}
+	// A waiter on the in-flight cell and a requester needing the (occupied)
+	// worker slot must both unblock on engine cancellation.
+	errs := make(chan error, 2)
+	go func() { _, err := e.Do("held", "held", ok(nil)); errs <- err }()
+	go func() { _, err := e.Do("other", "other", ok(nil)); errs <- err }()
+	cause := errors.New("operator abort")
+	time.AfterFunc(10*time.Millisecond, func() { e.Cancel(cause) })
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, cause) {
+				t.Fatalf("err = %v, want cancellation cause", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("cancellation did not unblock a requester")
+		}
+	}
+}
+
+func TestTransientRetry(t *testing.T) {
+	e := NewWithPolicy(context.Background(), 1, Policy{Retries: 3, Backoff: time.Millisecond})
+	var calls atomic.Int64
+	v, err := e.Do("flaky", "flaky", func(context.Context) (any, error) {
+		if calls.Add(1) < 3 {
+			return nil, Transient(errors.New("try again"))
+		}
+		return "finally", nil
+	})
+	if err != nil || v.(string) != "finally" {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("compute ran %d times, want 3", calls.Load())
+	}
+	r := e.Report()
+	if r.Cells[0].Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", r.Cells[0].Attempts)
+	}
+
+	// A persistent transient error exhausts the budget and caches the error.
+	var persist atomic.Int64
+	_, err = e.Do("stillflaky", "stillflaky", func(context.Context) (any, error) {
+		persist.Add(1)
+		return nil, Transient(errors.New("never better"))
+	})
+	if err == nil || persist.Load() != 4 { // 1 attempt + 3 retries
+		t.Fatalf("persistent transient: err=%v attempts=%d, want error after 4 attempts", err, persist.Load())
+	}
+
+	// Non-transient errors are never retried.
+	var hard atomic.Int64
+	e.Do("hard", "hard", func(context.Context) (any, error) {
+		hard.Add(1)
+		return nil, errors.New("deterministic failure")
+	})
+	if hard.Load() != 1 {
+		t.Fatalf("deterministic failure retried %d times", hard.Load())
+	}
+}
+
+// TestReportConcurrentWithWarm is the -race regression test for the Report
+// snapshot: reading per-cell fields of in-flight cells while their owners
+// write them must be race-free (publication via the done channel).
+func TestReportConcurrentWithWarm(t *testing.T) {
+	e := New(4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.Report()
+			}
+		}
+	}()
+	var fns []func()
+	for i := 0; i < 64; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		fns = append(fns, func() {
+			e.Do(key, key, func(context.Context) (any, error) {
+				time.Sleep(time.Millisecond)
+				return key, nil
+			})
+		})
+	}
+	e.Warm(fns...)
+	close(stop)
+	wg.Wait()
+	r := e.Report()
+	if r.Unique == 0 || r.Failures != 0 {
+		t.Fatalf("report after warm = %+v", r)
+	}
+}
+
 // TestMeshCellMatchesDirect pins the cell path to the direct RunWithPlans
 // path: memoization must be semantically invisible.
 func TestMeshCellMatchesDirect(t *testing.T) {
@@ -75,8 +301,11 @@ func TestMeshCellMatchesDirect(t *testing.T) {
 	cfg := machine.Default(4)
 	direct := adaptmesh.RunWithPlans(core.SAS, machine.MustNew(cfg), w, adaptmesh.BuildPlans(w, 4))
 	cell := New(2).Mesh(core.SAS, cfg, w)
-	if direct.Fingerprint() != cell.Fingerprint() {
-		t.Fatalf("cell metrics diverge from direct run:\n cell   %v\n direct %v", cell, direct)
+	if cell.Failed() {
+		t.Fatalf("cell failed: %v", cell.Err)
+	}
+	if direct.Fingerprint() != cell.M.Fingerprint() {
+		t.Fatalf("cell metrics diverge from direct run:\n cell   %v\n direct %v", cell.M, direct)
 	}
 }
 
@@ -94,7 +323,10 @@ func TestCacheCorrectness(t *testing.T) {
 		t.Fatalf("second request simulated %d new cells, want 0", r.Unique-misses)
 	}
 	for i := range first {
-		if first[i].Fingerprint() != second[i].Fingerprint() {
+		if first[i].Failed() || second[i].Failed() {
+			t.Fatalf("cell failed: %v / %v", first[i].Err, second[i].Err)
+		}
+		if first[i].M.Fingerprint() != second[i].M.Fingerprint() {
 			t.Fatalf("model %d: cached metrics differ from first run", i)
 		}
 	}
@@ -105,7 +337,9 @@ func TestCacheCorrectness(t *testing.T) {
 func TestMeshPlanKeyNormalization(t *testing.T) {
 	e := New(2)
 	w := adaptmesh.Small()
-	e.MeshPlans(w, 2)
+	if _, err := e.MeshPlans(w, 2); err != nil {
+		t.Fatal(err)
+	}
 	base := e.Report().Unique
 
 	wMig := w
@@ -126,14 +360,34 @@ func TestMeshPlanKeyNormalization(t *testing.T) {
 
 func TestReportHitRate(t *testing.T) {
 	e := New(1)
-	e.Do("a", "a", func() any { return 1 })
-	e.Do("a", "a", func() any { return 1 })
-	e.Do("b", "b", func() any { return 2 })
+	e.Do("a", "a", ok(1))
+	e.Do("a", "a", ok(1))
+	e.Do("b", "b", ok(2))
 	r := e.Report()
 	if got, want := r.HitRate(), 1.0/3.0; got != want {
 		t.Fatalf("HitRate = %v, want %v", got, want)
 	}
 	if tb := r.Table(); len(tb.Rows) != 4+r.Unique {
 		t.Fatalf("report table has %d rows, want %d", len(tb.Rows), 4+r.Unique)
+	}
+}
+
+func TestFailLabel(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{context.DeadlineExceeded, "FAILED(timeout)"},
+		{context.Canceled, "FAILED(cancelled)"},
+		{&PanicError{Cell: "c", Reason: "boom"}, "FAILED(panic: boom)"},
+		{errors.New("plain"), "FAILED(plain)"},
+	} {
+		if got := FailLabel(tc.err); got != tc.want {
+			t.Errorf("FailLabel(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+	if !IsTransient(Transient(errors.New("x"))) || IsTransient(errors.New("x")) || Transient(nil) != nil {
+		t.Fatal("Transient/IsTransient misbehave")
 	}
 }

@@ -1,6 +1,10 @@
 package sim
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+	"time"
+)
 
 // Barrier is a reusable (cyclic) barrier that also merges virtual clocks:
 // every participant leaves at the maximum entry time plus a configurable
@@ -8,6 +12,10 @@ import "sync"
 //
 // Unlike Proc, a Barrier is shared and safe for concurrent use — it is the
 // synchronization point between processor goroutines.
+//
+// Every episode is covered by the stall watchdog (see watchdog.go): if the
+// participant count does not reach n within StallDeadline of host time, all
+// arrived participants panic with a *StallError instead of blocking forever.
 type Barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -19,6 +27,10 @@ type Barrier struct {
 	pen     []Time
 	cost    func(n int) Time
 	hook    func() []Time
+
+	arrived []int       // ranks in the open episode, for stall diagnostics
+	timer   *time.Timer // pending watchdog deadline, nil between episodes
+	stall   *StallError // sticky: a stalled barrier stays broken
 }
 
 // NewBarrier creates a barrier for n participants. cost maps the group size
@@ -41,16 +53,60 @@ func NewBarrierHook(n int, cost func(n int) Time, hook func() []Time) *Barrier {
 	return b
 }
 
+// armWatchdog starts the stall deadline for the episode that just opened.
+// Called with b.mu held by the episode's first arriver.
+func (b *Barrier) armWatchdog() {
+	d := StallDeadline()
+	if d <= 0 {
+		return
+	}
+	gen := b.gen
+	b.timer = time.AfterFunc(d, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		// A stale fire — the episode completed and bumped the generation
+		// before Stop won the race — is a no-op.
+		if b.gen != gen || b.stall != nil {
+			return
+		}
+		b.stall = &StallError{Kind: "barrier", N: b.n,
+			Arrived: append([]int(nil), b.arrived...), Deadline: d}
+		b.cond.Broadcast()
+	})
+}
+
+// disarmWatchdog cancels the pending deadline. Called with b.mu held by the
+// episode's last arriver.
+func (b *Barrier) disarmWatchdog() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+}
+
 // Wait blocks until all n participants have arrived, then advances p's clock
 // to max(entry clocks) + cost(n) (+ any hook penalty). The advance is charged
-// to PhaseSync.
+// to PhaseSync. If the episode stalls past StallDeadline, Wait panics with a
+// *StallError instead of blocking forever.
 func (b *Barrier) Wait(p *Proc) {
 	b.mu.Lock()
+	if b.stall != nil {
+		// A late arrival at an already-stalled barrier must not block: the
+		// episode is unrecoverable and the group is unwinding.
+		err := b.stall
+		b.mu.Unlock()
+		panic(err)
+	}
 	if p.clock > b.maxT {
 		b.maxT = p.clock
 	}
 	b.waiting++
+	b.arrived = append(b.arrived, p.id)
+	if b.waiting == 1 {
+		b.armWatchdog()
+	}
 	if b.waiting == b.n {
+		b.disarmWatchdog()
 		rel := b.maxT
 		if b.cost != nil {
 			rel += b.cost(b.n)
@@ -62,12 +118,18 @@ func (b *Barrier) Wait(p *Proc) {
 		}
 		b.waiting = 0
 		b.maxT = 0
+		b.arrived = b.arrived[:0]
 		b.gen++
 		b.cond.Broadcast()
 	} else {
 		gen := b.gen
-		for gen == b.gen {
+		for gen == b.gen && b.stall == nil {
 			b.cond.Wait()
+		}
+		if b.stall != nil && gen == b.gen {
+			err := b.stall
+			b.mu.Unlock()
+			panic(err)
 		}
 	}
 	rel := b.relT
@@ -85,6 +147,8 @@ func (b *Barrier) Wait(p *Proc) {
 // hands every participant the combined result. It is the building block for
 // deterministic cross-processor reductions: values are combined in rank
 // order, so floating-point results are identical on every run.
+//
+// Reducer episodes are covered by the same stall watchdog as Barrier.
 type Reducer struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -96,6 +160,10 @@ type Reducer struct {
 	maxT   Time
 	relT   Time
 	cost   func(n int) Time
+
+	arrived []int
+	timer   *time.Timer
+	stall   *StallError
 }
 
 // NewReducer creates a rendezvous reducer for n participants with the given
@@ -112,21 +180,42 @@ func NewReducer(n int, cost func(n int) Time) *Reducer {
 // Do deposits v for rank p.ID(), waits for all participants, and returns
 // combine(slots...) evaluated once, in rank order, by the last arriver.
 // Clocks merge exactly as in Barrier.Wait; time is charged to PhaseSync.
+//
+// p's rank must lie in [0, n): a processor outside the reducer's rank range
+// is a caller bug (it would silently overwrite another rank's slot) and
+// panics, matching NewGroup/NewBarrier validation. Participants whose
+// logical rank legitimately differs from their processor ID use DoAs.
 func (r *Reducer) Do(p *Proc, v any, combine func(vals []any) any) any {
-	return r.DoAs(p, p.id%r.n, v, combine)
+	if p.id < 0 || p.id >= r.n {
+		panic(fmt.Sprintf("sim: proc %d joined a %d-participant reducer (rank out of range; use DoAs for explicit slots)", p.id, r.n))
+	}
+	return r.DoAs(p, p.id, v, combine)
 }
 
 // DoAs is Do with an explicit slot index, for participants whose logical
 // rank differs from their processor ID (e.g. per-node representatives in a
-// hybrid program).
+// hybrid program). slot must lie in [0, n).
 func (r *Reducer) DoAs(p *Proc, slot int, v any, combine func(vals []any) any) any {
+	if slot < 0 || slot >= r.n {
+		panic(fmt.Sprintf("sim: slot %d out of range for %d-participant reducer", slot, r.n))
+	}
 	r.mu.Lock()
+	if r.stall != nil {
+		err := r.stall
+		r.mu.Unlock()
+		panic(err)
+	}
 	r.slots[slot] = v
 	if p.clock > r.maxT {
 		r.maxT = p.clock
 	}
 	r.filled++
+	r.arrived = append(r.arrived, slot)
+	if r.filled == 1 {
+		r.armWatchdog()
+	}
 	if r.filled == r.n {
+		r.disarmWatchdog()
 		r.result = combine(r.slots)
 		rel := r.maxT
 		if r.cost != nil {
@@ -135,12 +224,18 @@ func (r *Reducer) DoAs(p *Proc, slot int, v any, combine func(vals []any) any) a
 		r.relT = rel
 		r.filled = 0
 		r.maxT = 0
+		r.arrived = r.arrived[:0]
 		r.gen++
 		r.cond.Broadcast()
 	} else {
 		gen := r.gen
-		for gen == r.gen {
+		for gen == r.gen && r.stall == nil {
 			r.cond.Wait()
+		}
+		if r.stall != nil && gen == r.gen {
+			err := r.stall
+			r.mu.Unlock()
+			panic(err)
 		}
 	}
 	res := r.result
@@ -151,4 +246,33 @@ func (r *Reducer) DoAs(p *Proc, slot int, v any, combine func(vals []any) any) a
 	p.AdvanceTo(rel)
 	p.SetPhase(prev)
 	return res
+}
+
+// armWatchdog starts the stall deadline for the episode that just opened.
+// Called with r.mu held by the episode's first arriver.
+func (r *Reducer) armWatchdog() {
+	d := StallDeadline()
+	if d <= 0 {
+		return
+	}
+	gen := r.gen
+	r.timer = time.AfterFunc(d, func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.gen != gen || r.stall != nil {
+			return
+		}
+		r.stall = &StallError{Kind: "reducer", N: r.n,
+			Arrived: append([]int(nil), r.arrived...), Deadline: d}
+		r.cond.Broadcast()
+	})
+}
+
+// disarmWatchdog cancels the pending deadline. Called with r.mu held by the
+// episode's last arriver.
+func (r *Reducer) disarmWatchdog() {
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
 }

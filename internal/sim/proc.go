@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -151,19 +152,71 @@ func (g *Group) Size() int { return len(g.procs) }
 // Proc returns processor i.
 func (g *Group) Proc(i int) *Proc { return g.procs[i] }
 
+// ProcPanic wraps a panic that escaped a processor goroutine. Group.Run
+// recovers it there and re-raises it on Run's calling goroutine, so a bug in
+// SPMD body code (or a barrier StallError) surfaces where it can be handled —
+// e.g. recovered by the experiment engine into a failed cell — instead of
+// crashing the whole process from an anonymous goroutine.
+type ProcPanic struct {
+	Rank  int    // the processor whose body panicked
+	Value any    // the original panic value
+	Stack []byte // that goroutine's stack at panic time
+}
+
+func (e *ProcPanic) Error() string {
+	return fmt.Sprintf("sim: proc %d panicked: %v", e.Rank, e.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As chains.
+func (e *ProcPanic) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Run executes body once per processor, each on its own goroutine, and
 // returns when all have finished. This is the SPMD entry point: body receives
 // the Proc it owns and may use it with any of the model runtimes.
+//
+// If any body panics, Run waits for the rest of the gang to unwind (the
+// barrier/reducer stall watchdog guarantees participants blocked on the dead
+// rank do so within StallDeadline) and then re-panics with a *ProcPanic on
+// the calling goroutine. When several processors panic, the root cause is
+// preferred deterministically: a non-stall panic beats a StallError (stalls
+// are downstream symptoms), then the lowest rank wins.
 func (g *Group) Run(body func(p *Proc)) {
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first *ProcPanic
+	)
 	wg.Add(len(g.procs))
 	for _, p := range g.procs {
 		go func(p *Proc) {
 			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				stack := debug.Stack()
+				isStall := func(v any) bool { _, ok := v.(*StallError); return ok }
+				mu.Lock()
+				if first == nil ||
+					(isStall(first.Value) && !isStall(r)) ||
+					(isStall(first.Value) == isStall(r) && p.id < first.Rank) {
+					first = &ProcPanic{Rank: p.id, Value: r, Stack: stack}
+				}
+				mu.Unlock()
+			}()
 			body(p)
 		}(p)
 	}
 	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
 }
 
 // MaxTime returns the latest virtual clock in the group — the simulated
@@ -192,7 +245,9 @@ func (g *Group) MaxPhaseTime() [NumPhases]Time {
 	return out
 }
 
-// AvgPhaseTime returns the per-phase time averaged over processors.
+// AvgPhaseTime returns the per-phase time averaged over processors, rounded
+// half-up: plain integer division would silently truncate each average by up
+// to n-1 time units, biasing every phase low.
 func (g *Group) AvgPhaseTime() [NumPhases]Time {
 	var out [NumPhases]Time
 	for _, p := range g.procs {
@@ -200,8 +255,9 @@ func (g *Group) AvgPhaseTime() [NumPhases]Time {
 			out[ph] += p.phaseTime[ph]
 		}
 	}
+	n := Time(len(g.procs))
 	for ph := range out {
-		out[ph] /= Time(len(g.procs))
+		out[ph] = (out[ph] + n/2) / n
 	}
 	return out
 }

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// The stall watchdog is the simulation runtime's liveness backstop. A barrier
+// or reducer episode that never reaches its full participant count — because
+// a processor goroutine panicked, returned early, or deadlocked elsewhere —
+// would otherwise block every arrived participant forever and hang the whole
+// process. Instead, the first arriver of each episode arms a host-side (wall
+// clock, not virtual time) timer; if the episode is still incomplete when it
+// fires, every arrived participant panics with a *StallError naming the
+// missing ranks, Group.Run recovers the panics and re-raises one on its
+// caller, and the experiment engine converts it into a failed cell.
+//
+// Virtual time is unrelated: a legitimate episode completes in microseconds
+// of host time however much simulated time it spans, so the default deadline
+// only ever fires on a genuinely wedged episode.
+
+// DefaultStallDeadline is the initial episode deadline. It is deliberately
+// generous: a false positive fails a healthy cell, while a true stall only
+// wastes this much wall time once.
+const DefaultStallDeadline = 30 * time.Second
+
+var stallDeadlineNS atomic.Int64
+
+func init() { stallDeadlineNS.Store(int64(DefaultStallDeadline)) }
+
+// SetStallDeadline sets the package-wide episode deadline and returns the
+// previous value. d <= 0 disables the watchdog (episodes may then block
+// forever; only do this in code that provably cannot stall). Tests that
+// provoke stalls on purpose set a short deadline and restore the old one:
+//
+//	defer sim.SetStallDeadline(sim.SetStallDeadline(50 * time.Millisecond))
+func SetStallDeadline(d time.Duration) time.Duration {
+	return time.Duration(stallDeadlineNS.Swap(int64(d)))
+}
+
+// StallDeadline returns the current package-wide episode deadline.
+func StallDeadline() time.Duration { return time.Duration(stallDeadlineNS.Load()) }
+
+// StallError is the panic value raised by every participant of a barrier or
+// reducer episode that failed to complete within the watchdog deadline. It
+// names the ranks that did arrive, so the diagnostic points straight at the
+// ones that are missing.
+type StallError struct {
+	Kind     string        // "barrier" or "reducer"
+	N        int           // expected participant count
+	Arrived  []int         // ranks (or slots) that reached the episode
+	Deadline time.Duration // the deadline that expired
+}
+
+// Missing returns the ranks in [0, N) that never arrived, sorted.
+func (e *StallError) Missing() []int {
+	present := make(map[int]bool, len(e.Arrived))
+	for _, id := range e.Arrived {
+		present[id] = true
+	}
+	var miss []int
+	for id := 0; id < e.N; id++ {
+		if !present[id] {
+			miss = append(miss, id)
+		}
+	}
+	return miss
+}
+
+func (e *StallError) Error() string {
+	arrived := append([]int(nil), e.Arrived...)
+	sort.Ints(arrived)
+	return fmt.Sprintf("sim: %s stalled: %d/%d participants after %v (arrived %v, missing %v)",
+		e.Kind, len(e.Arrived), e.N, e.Deadline, arrived, e.Missing())
+}

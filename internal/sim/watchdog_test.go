@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shortDeadline installs a test-scale watchdog deadline and restores the
+// package default on cleanup.
+func shortDeadline(t *testing.T, d time.Duration) {
+	t.Helper()
+	prev := SetStallDeadline(d)
+	t.Cleanup(func() { SetStallDeadline(prev) })
+}
+
+// mustPanic runs f and returns the recovered panic value, failing the test
+// if f returns normally.
+func mustPanic(t *testing.T, f func()) (v any) {
+	t.Helper()
+	defer func() { v = recover() }()
+	f()
+	t.Fatal("expected panic")
+	return nil
+}
+
+func TestBarrierStallNamesMissingRanks(t *testing.T) {
+	shortDeadline(t, 50*time.Millisecond)
+	g := NewGroup(3)
+	b := NewBarrier(3, nil)
+	v := mustPanic(t, func() {
+		g.Run(func(p *Proc) {
+			if p.ID() == 2 {
+				return // never joins: the episode can only stall
+			}
+			b.Wait(p)
+		})
+	})
+	pp, ok := v.(*ProcPanic)
+	if !ok {
+		t.Fatalf("Run re-panicked with %T (%v), want *ProcPanic", v, v)
+	}
+	se, ok := pp.Value.(*StallError)
+	if !ok {
+		t.Fatalf("proc panic value is %T (%v), want *StallError", pp.Value, pp.Value)
+	}
+	if se.Kind != "barrier" || se.N != 3 || len(se.Arrived) != 2 {
+		t.Fatalf("stall = %+v", se)
+	}
+	if miss := se.Missing(); len(miss) != 1 || miss[0] != 2 {
+		t.Fatalf("Missing() = %v, want [2]", miss)
+	}
+	if msg := se.Error(); !strings.Contains(msg, "missing [2]") {
+		t.Fatalf("diagnostic does not name the missing rank: %q", msg)
+	}
+}
+
+func TestBarrierStickyAfterStall(t *testing.T) {
+	shortDeadline(t, 20*time.Millisecond)
+	g := NewGroup(2)
+	b := NewBarrier(2, nil)
+	mustPanic(t, func() {
+		g.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				b.Wait(p)
+			}
+		})
+	})
+	// A late arrival at the broken barrier must fail fast, not block.
+	v := mustPanic(t, func() { b.Wait(NewGroup(2).Proc(1)) })
+	if _, ok := v.(*StallError); !ok {
+		t.Fatalf("late Wait panicked with %T, want *StallError", v)
+	}
+}
+
+func TestReducerStall(t *testing.T) {
+	shortDeadline(t, 50*time.Millisecond)
+	g := NewGroup(2)
+	r := NewReducer(2, nil)
+	v := mustPanic(t, func() {
+		g.Run(func(p *Proc) {
+			if p.ID() == 1 {
+				return
+			}
+			r.Do(p, 1, func(vals []any) any { return vals[0] })
+		})
+	})
+	se, ok := v.(*ProcPanic).Value.(*StallError)
+	if !ok || se.Kind != "reducer" {
+		t.Fatalf("want reducer StallError, got %v", v)
+	}
+	if miss := se.Missing(); len(miss) != 1 || miss[0] != 1 {
+		t.Fatalf("Missing() = %v, want [1]", miss)
+	}
+}
+
+func TestWatchdogQuietOnHealthyEpisodes(t *testing.T) {
+	// Deadline far above episode latency: many rounds must complete without
+	// a false positive, and timers must be disarmed (no stray stall later).
+	shortDeadline(t, 5*time.Second)
+	g := NewGroup(4)
+	b := NewBarrier(4, nil)
+	g.Run(func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			b.Wait(p)
+		}
+	})
+	if b.stall != nil {
+		t.Fatalf("healthy barrier marked stalled: %v", b.stall)
+	}
+}
+
+func TestGroupRunPrefersRootCauseOverStall(t *testing.T) {
+	shortDeadline(t, 50*time.Millisecond)
+	g := NewGroup(3)
+	b := NewBarrier(3, nil)
+	v := mustPanic(t, func() {
+		g.Run(func(p *Proc) {
+			if p.ID() == 1 {
+				panic("boom: rank 1 died")
+			}
+			b.Wait(p) // ranks 0 and 2 stall waiting for the dead rank
+		})
+	})
+	pp, ok := v.(*ProcPanic)
+	if !ok {
+		t.Fatalf("Run re-panicked with %T, want *ProcPanic", v)
+	}
+	if pp.Rank != 1 || pp.Value != "boom: rank 1 died" {
+		t.Fatalf("root cause not preferred: rank=%d value=%v", pp.Rank, pp.Value)
+	}
+	if len(pp.Stack) == 0 {
+		t.Fatal("ProcPanic carries no stack")
+	}
+}
+
+func TestProcPanicUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	pp := &ProcPanic{Rank: 0, Value: sentinel}
+	if !errors.Is(pp, sentinel) {
+		t.Fatal("ProcPanic does not unwrap its error value")
+	}
+	var se *StallError
+	stall := &ProcPanic{Rank: 2, Value: &StallError{Kind: "barrier", N: 2}}
+	if !errors.As(stall, &se) {
+		t.Fatal("errors.As cannot reach the StallError inside a ProcPanic")
+	}
+}
+
+func TestReducerRankOutOfRangePanics(t *testing.T) {
+	g := NewGroup(4)
+	r := NewReducer(2, nil)
+	v := mustPanic(t, func() {
+		r.Do(g.Proc(3), 1, func(vals []any) any { return nil })
+	})
+	msg, ok := v.(string)
+	if !ok || !strings.Contains(msg, "rank out of range") {
+		t.Fatalf("out-of-range Do panicked with %v, want rank-out-of-range message", v)
+	}
+}
+
+func TestReducerSlotOutOfRangePanics(t *testing.T) {
+	g := NewGroup(1)
+	r := NewReducer(2, nil)
+	for _, slot := range []int{-1, 2} {
+		v := mustPanic(t, func() {
+			r.DoAs(g.Proc(0), slot, nil, func(vals []any) any { return nil })
+		})
+		if msg, ok := v.(string); !ok || !strings.Contains(msg, "out of range") {
+			t.Fatalf("slot %d: panicked with %v, want out-of-range message", slot, v)
+		}
+	}
+}
+
+func TestAvgPhaseTimeRoundsHalfUp(t *testing.T) {
+	// Sum 7 over 4 procs: truncation gives 1, half-up rounding gives 2.
+	g := NewGroup(4)
+	g.Run(func(p *Proc) {
+		p.SetPhase(PhaseCompute)
+		if p.ID() == 0 {
+			p.Advance(7)
+		}
+	})
+	if got := g.AvgPhaseTime()[PhaseCompute]; got != 2 {
+		t.Fatalf("avg of 7/4 = %v, want 2 (round half-up)", got)
+	}
+	// Sum 5 over 4 procs: 1.25 rounds down to 1.
+	g2 := NewGroup(4)
+	g2.Run(func(p *Proc) {
+		p.SetPhase(PhaseCompute)
+		if p.ID() == 0 {
+			p.Advance(5)
+		}
+	})
+	if got := g2.AvgPhaseTime()[PhaseCompute]; got != 1 {
+		t.Fatalf("avg of 5/4 = %v, want 1", got)
+	}
+}
