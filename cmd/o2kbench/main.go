@@ -4,6 +4,11 @@
 //
 //	o2kbench [-exp name] [-quick] [-procs 1,2,4,8,16,32,64] [-format text|json]
 //	         [-jobs N] [-timeout d] [-cellretries N] [-runreport] [-list]
+//	         [-cpuprofile f] [-memprofile f]
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the inputs to
+// the hot-path work recorded in DESIGN.md §5.4); profiles go to separate
+// files and never touch stdout.
 //
 // Experiments are resolved through the experiments registry: every
 // experiment answers to its semantic name (mesh-speedup) and its paper
@@ -29,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -64,7 +71,13 @@ func parseProcs(s string) ([]int, error) {
 	return ps, nil
 }
 
+// main delegates to run so that deferred profile writers fire before the
+// process exits (os.Exit would skip them).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run (-list for the index; 'all' runs everything)")
 	quick := flag.Bool("quick", false, "reduced workloads and processor counts")
 	procs := flag.String("procs", "", "comma-separated processor counts (overrides default)")
@@ -74,11 +87,43 @@ func main() {
 	retries := flag.Int("cellretries", 0, "retry budget for cells that fail with a transient error")
 	runreport := flag.Bool("runreport", false, "print cell cache/timing report to stderr (JSON with -format json)")
 	list := flag.Bool("list", false, "list every experiment name, its aliases, and its description")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "o2kbench:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "o2kbench:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "o2kbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "o2kbench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Print(listTable().String())
-		return
+		return 0
 	}
 
 	o := experiments.DefaultOpts()
@@ -89,13 +134,13 @@ func main() {
 		ps, err := parseProcs(*procs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "o2kbench:", err)
-			os.Exit(2)
+			return 2
 		}
 		o.Procs = ps
 	}
 	if *retries < 0 {
 		fmt.Fprintln(os.Stderr, "o2kbench: -cellretries must be >= 0")
-		os.Exit(2)
+		return 2
 	}
 	o.Jobs = *jobs
 
@@ -111,7 +156,7 @@ func main() {
 	tables, err := experiments.RunOn(eng, *exp, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "o2kbench:", err)
-		os.Exit(2)
+		return 2
 	}
 	switch *format {
 	case "json":
@@ -119,7 +164,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(tables); err != nil {
 			fmt.Fprintln(os.Stderr, "o2kbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	case "text":
 		for i, t := range tables {
@@ -130,7 +175,7 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "o2kbench: unknown format %q\n", *format)
-		os.Exit(2)
+		return 2
 	}
 
 	report := eng.Report()
@@ -140,7 +185,7 @@ func main() {
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(report); err != nil {
 				fmt.Fprintln(os.Stderr, "o2kbench:", err)
-				os.Exit(1)
+				return 1
 			}
 		} else {
 			fmt.Fprint(os.Stderr, "\n"+report.Table().String())
@@ -149,6 +194,7 @@ func main() {
 	if report.Failures > 0 {
 		fmt.Fprintf(os.Stderr, "o2kbench: %d cell(s) failed; output is partial (rerun with -runreport for details)\n",
 			report.Failures)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"testing"
+)
+
+// goldenQuickSHA256 pins the exact bytes of the full quick-scale experiment
+// suite, rendered the way `o2kbench -quick -exp all` prints it. It is the
+// regression net under the hot-path optimization work (DESIGN.md §5.4): any
+// change to the simulator that alters a single character of any table —
+// virtual times, counters, speedups, verdicts — fails this test.
+//
+// If the test fails after an INTENTIONAL model or output change, update the
+// constant to the hash printed in the failure message. Note that Table 5
+// measures this repository's own model-runtime sources (internal/mp, shm,
+// sas), so edits to those files legitimately change the bytes too.
+const goldenQuickSHA256 = "d07f5e99b9605042b6a9cb8abe2b230dc9f361b9fe92f318ae7f2cd86a488109"
+
+func TestGoldenQuickOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick suite; skipped with -short")
+	}
+	out := renderAll(All(QuickOpts()))
+	sum := sha256.Sum256([]byte(out))
+	got := hex.EncodeToString(sum[:])
+	if got != goldenQuickSHA256 {
+		if dir := os.Getenv("O2K_GOLDEN_DUMP"); dir != "" {
+			_ = os.WriteFile(dir, []byte(out), 0o644)
+		}
+		t.Fatalf("quick-suite output hash changed:\n got %s\nwant %s\n"+
+			"If the change is intentional, update goldenQuickSHA256 "+
+			"(set O2K_GOLDEN_DUMP=<file> to dump the rendered bytes).", got, goldenQuickSHA256)
+	}
+}

@@ -134,6 +134,13 @@ func (c *Config) Validate() error {
 type Machine struct {
 	Cfg   Config
 	nodes int
+
+	// Derived lookup tables for the memory-system hot path (internal/numa
+	// charges one MemAccess per simulated cache miss, millions per run).
+	// They trade a few KB per Machine for replacing the per-access integer
+	// divisions and popcounts with two array loads.
+	procNode []int32    // node housing each processor
+	nodeLat  []sim.Time // nodes×nodes flat: MemAccess latency by (node, node)
 }
 
 // New builds a Machine from cfg, or returns an error if cfg is invalid.
@@ -142,7 +149,23 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	nodes := (cfg.Procs + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
-	return &Machine{Cfg: cfg, nodes: nodes}, nil
+	m := &Machine{Cfg: cfg, nodes: nodes}
+	m.procNode = make([]int32, cfg.Procs)
+	for p := range m.procNode {
+		m.procNode[p] = int32(p / cfg.ProcsPerNode)
+	}
+	m.nodeLat = make([]sim.Time, nodes*nodes)
+	for a := 0; a < nodes; a++ {
+		for b := 0; b < nodes; b++ {
+			lat := cfg.LocalMissNS
+			if a != b {
+				h := bits.OnesCount(uint(a ^ b))
+				lat = cfg.RemoteMissNS + sim.Time(h-1)*cfg.RemoteHopNS
+			}
+			m.nodeLat[a*nodes+b] = lat
+		}
+	}
+	return m, nil
 }
 
 // MustNew is New but panics on invalid configuration; for tests and tables.
@@ -186,12 +209,17 @@ func (m *Machine) Diameter() int {
 // MemAccess returns the latency of one cache-missing memory access issued by
 // proc when the line's home is homeProc's node.
 func (m *Machine) MemAccess(proc, homeProc int) sim.Time {
-	h := m.Hops(proc, homeProc)
-	if h == 0 {
-		return m.Cfg.LocalMissNS
-	}
-	return m.Cfg.RemoteMissNS + sim.Time(h-1)*m.Cfg.RemoteHopNS
+	return m.nodeLat[int(m.procNode[proc])*m.nodes+int(m.procNode[homeProc])]
 }
+
+// ProcNode returns, for every processor, the node housing it — the table the
+// numa hot path uses for its local/remote classification. Callers must not
+// mutate the returned slice.
+func (m *Machine) ProcNode() []int32 { return m.procNode }
+
+// NodeLat returns the flat nodes×nodes MemAccess latency table (row-major by
+// source node). Callers must not mutate the returned slice.
+func (m *Machine) NodeLat() []sim.Time { return m.nodeLat }
 
 // Wire returns the pure network transfer time for n bytes over h hops:
 // injection + per-hop routing + bandwidth term.

@@ -139,6 +139,7 @@ func (t *Tree) Accel(self int32, bx, by, theta float64, readBody BodyReader, rea
 	type frame = int32
 	stack := make([]frame, 0, 64)
 	stack = append(stack, t.Root)
+	tt := theta * theta // hoisted; (theta*theta)*d2 is the original association
 	for len(stack) > 0 {
 		c := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -164,7 +165,7 @@ func (t *Tree) Accel(self int32, bx, by, theta float64, readBody BodyReader, rea
 		cx, cy, cm := readCell(c)
 		dx, dy := cx-bx, cy-by
 		d2 := dx*dx + dy*dy
-		if cell.Size*cell.Size < theta*theta*d2 {
+		if cell.Size*cell.Size < tt*d2 {
 			d2 += Soft2
 			inv := 1 / (d2 * math.Sqrt(d2))
 			ax += G * cm * dx * inv

@@ -2,6 +2,7 @@ package numa
 
 import (
 	"fmt"
+	mbits "math/bits"
 	"unsafe"
 
 	"o2k/internal/sim"
@@ -37,9 +38,40 @@ type Array[T any] struct {
 	pageHome []int32 // home processor per page
 	shared   bool
 
+	// Hot-path caches, filled once in newArray (DESIGN.md §5.4). charge runs
+	// for every simulated access — millions per experiment — so the shifts
+	// replace the lineOf/pageOf divisions (LineBytes and PageBytes are
+	// validated powers of two) and the machine tables replace the per-miss
+	// Hops/MemAccess calls. All of them are derived, never authoritative:
+	// the reference path in ref.go recomputes everything from Cfg.
+	caches       []*cache
+	lineShift    uint // log2(LineBytes)
+	pageShift    uint // log2(PageBytes)
+	pageOverLine uint // pageShift - lineShift: line index -> page index
+	cacheHitNS   sim.Time
+	procNode     []int32    // machine.ProcNode table
+	nodeLat      []sim.Time // machine.NodeLat table, row-major by source node
+	nodes        int
+
+	// last[me] remembers the line this processor most recently accessed in
+	// this array, with the cache generation at which it did. While the
+	// generation matches (no tag has moved since), that line is provably
+	// still the MRU way of its set, so a repeat access is a hit with no LRU
+	// reorder — chargeable with two compares, no set hash, no tag probe. The
+	// tags arrays are large enough to miss in the host cache; this 16-byte
+	// slot stays hot. Never consulted or written on the reference path.
+	last []lastRef
+
 	// Epoch write-sets (shared arrays only).
 	writeLines [][]uint32 // per proc: line indices written this epoch
 	writeBits  [][]uint64 // per proc: dedup bitmap over line indices
+}
+
+// lastRef is one entry of Array.last: line is the global line address + 1
+// (0 = never set), gen the owning cache's mutation count when it was stored.
+type lastRef struct {
+	line uint64
+	gen  uint64
 }
 
 // NewPrivate allocates n elements of private memory homed on owner.
@@ -77,13 +109,24 @@ func newArray[T any](sp *Space, n int) *Array[T] {
 	if pages == 0 {
 		pages = 1
 	}
+	lineShift := uint(mbits.TrailingZeros64(uint64(sp.M.Cfg.LineBytes)))
+	pageShift := uint(mbits.TrailingZeros64(pb))
 	a := &Array[T]{
-		sp:       sp,
-		data:     make([]T, n),
-		elemSize: es,
-		base:     base,
-		baseLine: base / uint64(sp.M.Cfg.LineBytes),
-		pageHome: make([]int32, pages),
+		sp:           sp,
+		data:         make([]T, n),
+		elemSize:     es,
+		base:         base,
+		baseLine:     base >> lineShift,
+		pageHome:     make([]int32, pages),
+		caches:       sp.caches,
+		lineShift:    lineShift,
+		pageShift:    pageShift,
+		pageOverLine: pageShift - lineShift,
+		cacheHitNS:   sp.M.Cfg.CacheHitNS,
+		procNode:     sp.M.ProcNode(),
+		nodeLat:      sp.M.NodeLat(),
+		nodes:        sp.M.Nodes(),
+		last:         make([]lastRef, sp.M.Procs()),
 	}
 	sp.addAlloc(int(bytes))
 	return a
@@ -181,61 +224,163 @@ func (a *Array[T]) checkProc(p int) {
 }
 
 func (a *Array[T]) pageOf(i int) int {
-	return int(uint64(i) * a.elemSize / uint64(a.sp.M.Cfg.PageBytes))
+	return int(uint64(i) * a.elemSize >> a.pageShift)
 }
 
 func (a *Array[T]) lineOf(i int) uint32 {
-	return uint32(uint64(i) * a.elemSize / uint64(a.sp.M.Cfg.LineBytes))
+	return uint32(uint64(i) * a.elemSize >> a.lineShift)
 }
 
 // --- Costed access ---------------------------------------------------------
 
 // charge runs the cache/NUMA cost model for one access to local line index
 // li by processor p, and (for shared arrays) records the write-set entry.
+// The overwhelmingly common case — a repeat access to the processor's last
+// line in this array, needing no write-set record — is answered from the
+// last-line slot with two compares; an MRU-way hit costs one tag probe more;
+// everything else (LRU shuffle, miss, write record, reference model) drops
+// to chargeSlow. Load and Store repeat both fast paths inline (the compiler
+// will not inline charge into them) — keep the three copies in sync.
 func (a *Array[T]) charge(p *sim.Proc, li uint32, write bool) {
 	me := p.ID()
-	c := a.sp.caches[me]
+	c := a.caches[me]
 	gl := a.baseLine + uint64(li)
-	if c.access(gl) {
+	lr := &a.last[me]
+	if lr.line == gl+1 && lr.gen == c.gen && !(write && a.shared) {
 		p.CacheHits++
-		p.Advance(a.sp.M.Cfg.CacheHitNS)
+		p.Advance(a.cacheHitNS)
+		return
+	}
+	base := c.setBase(gl)
+	if (write && a.shared) || refModel || !c.mruHit(base, gl) {
+		a.chargeSlow(p, c, base, gl, li, write)
+		return
+	}
+	p.CacheHits++
+	p.Advance(a.cacheHitNS)
+	lr.line, lr.gen = gl+1, c.gen
+}
+
+func (a *Array[T]) chargeSlow(p *sim.Proc, c *cache, base, gl uint64, li uint32, write bool) {
+	if refModel {
+		a.chargeRef(p, li, write)
+		return
+	}
+	me := p.ID()
+	if c.mruHit(base, gl) || c.accessSlow(base, gl) {
+		p.CacheHits++
+		p.Advance(a.cacheHitNS)
 	} else {
-		home := int(a.pageHome[int(uint64(li)*uint64(a.sp.M.Cfg.LineBytes)/uint64(a.sp.M.Cfg.PageBytes))])
-		lat := a.sp.M.MemAccess(me, home)
-		if a.sp.M.Hops(me, home) == 0 {
+		sn := a.procNode[me]
+		hn := a.procNode[a.pageHome[li>>a.pageOverLine]]
+		if sn == hn {
 			p.LocalMisses++
 		} else {
 			p.RemoteMisses++
 		}
-		p.Advance(lat)
+		p.Advance(a.nodeLat[int(sn)*a.nodes+int(hn)])
 	}
 	if write && a.shared {
-		bits := a.writeBits[me]
-		if bits == nil {
-			bits = make([]uint64, (a.lines()+63)/64)
-			a.writeBits[me] = bits
+		a.recordWrite(me, li)
+	}
+	// The access (hit or install) left gl in the MRU way; c.gen reflects any
+	// shuffle accessSlow just did.
+	a.last[me] = lastRef{gl + 1, c.gen}
+}
+
+// recordWrite adds li to processor me's epoch write-set (once per line).
+func (a *Array[T]) recordWrite(me int, li uint32) {
+	bits := a.writeBits[me]
+	if bits == nil {
+		bits = make([]uint64, (a.lines()+63)/64)
+		a.writeBits[me] = bits
+	}
+	w, b := li>>6, uint64(1)<<(li&63)
+	if bits[w]&b == 0 {
+		bits[w] |= b
+		a.writeLines[me] = append(a.writeLines[me], li)
+	}
+}
+
+// recordWriteRange is recordWrite for the contiguous lines [l0, l1],
+// word-at-a-time over the dedup bitmap. Newly written lines are appended in
+// ascending order — the same order the per-line path produces.
+func (a *Array[T]) recordWriteRange(me int, l0, l1 uint32) {
+	bits := a.writeBits[me]
+	if bits == nil {
+		bits = make([]uint64, (a.lines()+63)/64)
+		a.writeBits[me] = bits
+	}
+	wl := a.writeLines[me]
+	w0, w1 := l0>>6, l1>>6
+	for w := w0; w <= w1; w++ {
+		mask := ^uint64(0)
+		if w == w0 {
+			mask &= ^uint64(0) << (l0 & 63)
 		}
-		w, b := li>>6, uint64(1)<<(li&63)
-		if bits[w]&b == 0 {
-			bits[w] |= b
-			a.writeLines[me] = append(a.writeLines[me], li)
+		if w == w1 {
+			mask &= ^uint64(0) >> (63 - l1&63)
+		}
+		newly := mask &^ bits[w]
+		bits[w] |= mask
+		for newly != 0 {
+			wl = append(wl, w<<6|uint32(mbits.TrailingZeros64(newly)))
+			newly &= newly - 1
 		}
 	}
+	a.writeLines[me] = wl
 }
 
 func (a *Array[T]) lines() int {
 	return int((a.elemSize*uint64(len(a.data)) + uint64(a.sp.M.Cfg.LineBytes) - 1) / uint64(a.sp.M.Cfg.LineBytes))
 }
 
-// Load returns element i, charging the access to p.
+// Load returns element i, charging the access to p. The charge fast paths
+// are repeated here (not called) so the hot hit case costs no function call.
 func (a *Array[T]) Load(p *sim.Proc, i int) T {
-	a.charge(p, a.lineOf(i), false)
+	me := p.ID()
+	li := a.lineOf(i)
+	c := a.caches[me]
+	gl := a.baseLine + uint64(li)
+	lr := &a.last[me]
+	if lr.line == gl+1 && lr.gen == c.gen {
+		p.CacheHits++
+		p.Advance(a.cacheHitNS)
+		return a.data[i]
+	}
+	base := c.setBase(gl)
+	if refModel || !c.mruHit(base, gl) {
+		a.chargeSlow(p, c, base, gl, li, false)
+	} else {
+		p.CacheHits++
+		p.Advance(a.cacheHitNS)
+		lr.line, lr.gen = gl+1, c.gen
+	}
 	return a.data[i]
 }
 
-// Store writes element i, charging the access to p.
+// Store writes element i, charging the access to p; fast paths as in Load
+// (shared-array stores always drop to chargeSlow for the write record).
 func (a *Array[T]) Store(p *sim.Proc, i int, v T) {
-	a.charge(p, a.lineOf(i), true)
+	me := p.ID()
+	li := a.lineOf(i)
+	c := a.caches[me]
+	gl := a.baseLine + uint64(li)
+	lr := &a.last[me]
+	if !a.shared && lr.line == gl+1 && lr.gen == c.gen {
+		p.CacheHits++
+		p.Advance(a.cacheHitNS)
+		a.data[i] = v
+		return
+	}
+	base := c.setBase(gl)
+	if a.shared || refModel || !c.mruHit(base, gl) {
+		a.chargeSlow(p, c, base, gl, li, true)
+	} else {
+		p.CacheHits++
+		p.Advance(a.cacheHitNS)
+		lr.line, lr.gen = gl+1, c.gen
+	}
 	a.data[i] = v
 }
 
@@ -247,14 +392,53 @@ func (a *Array[T]) Touch(p *sim.Proc, i int, write bool) {
 
 // TouchRange charges a streaming access of elements [lo, hi) — one cache
 // event per distinct line — without moving data.
+//
+// The bulk path probes each line once, accumulates the latency into a single
+// Advance, and records the write-set word-at-a-time; because every access is
+// in the same phase and counters are sums, the result is identical to
+// charging line-by-line (the differential test in ref_test.go checks this
+// against the reference path).
 func (a *Array[T]) TouchRange(p *sim.Proc, lo, hi int, write bool) {
 	if lo >= hi {
 		return
 	}
 	l0, l1 := a.lineOf(lo), a.lineOf(hi-1)
-	for li := l0; li <= l1; li++ {
-		a.charge(p, li, write)
+	if refModel {
+		for li := l0; li <= l1; li++ {
+			a.chargeRef(p, li, write)
+		}
+		return
 	}
+	me := p.ID()
+	c := a.caches[me]
+	sn := a.procNode[me]
+	var lat sim.Time
+	var hits, local, remote uint64
+	for li := l0; li <= l1; li++ {
+		gl := a.baseLine + uint64(li)
+		base := c.setBase(gl)
+		if c.mruHit(base, gl) || c.accessSlow(base, gl) {
+			hits++
+			lat += a.cacheHitNS
+			continue
+		}
+		hn := a.procNode[a.pageHome[li>>a.pageOverLine]]
+		if sn == hn {
+			local++
+		} else {
+			remote++
+		}
+		lat += a.nodeLat[int(sn)*a.nodes+int(hn)]
+	}
+	p.CacheHits += hits
+	p.LocalMisses += local
+	p.RemoteMisses += remote
+	p.Advance(lat)
+	if write && a.shared {
+		a.recordWriteRange(me, l0, l1)
+	}
+	// l1 was the final probe, so it sits in the MRU way of its set.
+	a.last[me] = lastRef{a.baseLine + uint64(l1) + 1, c.gen}
 }
 
 // Fill stores v into [lo, hi), charging one event per line.
@@ -278,23 +462,51 @@ func (a *Array[T]) LineRange(e0, e1 int) (lo, hi uint64) {
 
 // --- Coherence merge (epochTracker) -----------------------------------------
 
+// mergeEpoch applies the epoch's write-sets: every line written by some
+// processor is invalidated in every other processor's cache.
+//
+// The loops run per writer, then per cache, then per line, so each target
+// cache is filtered once per writer with its occupancy count and line-range
+// bounds before any per-line probing. Invalidation outcomes are
+// order-independent — invalidate(L) in cache q depends only on whether q
+// still holds L, and each (line, cache) pair evicts at most once however many
+// writers touched the line — so any probe order (including the reference
+// path's line-major order in ref.go) yields identical cache state and evict
+// counts.
 func (a *Array[T]) mergeEpoch(caches []*cache, evicts []uint64) {
+	if refModel {
+		a.mergeEpochRef(caches, evicts)
+		return
+	}
 	for w := range a.writeLines {
 		lines := a.writeLines[w]
 		if len(lines) == 0 {
 			continue
 		}
-		bits := a.writeBits[w]
-		for _, li := range lines {
-			gl := a.baseLine + uint64(li)
-			for q, c := range caches {
-				if q == w {
-					continue
-				}
-				if c.invalidate(gl) {
-					evicts[q]++
+		lo, hi := lines[0], lines[0]
+		for _, li := range lines[1:] {
+			if li < lo {
+				lo = li
+			}
+			if li > hi {
+				hi = li
+			}
+		}
+		glo, ghi := a.baseLine+uint64(lo), a.baseLine+uint64(hi)
+		for q, c := range caches {
+			if q == w || c.live == 0 || ghi < c.minLine || glo > c.maxLine {
+				continue
+			}
+			n := uint64(0)
+			for _, li := range lines {
+				if c.invalidate(a.baseLine + uint64(li)) {
+					n++
 				}
 			}
+			evicts[q] += n
+		}
+		bits := a.writeBits[w]
+		for _, li := range lines {
 			bits[li>>6] &^= uint64(1) << (li & 63)
 		}
 		a.writeLines[w] = lines[:0]

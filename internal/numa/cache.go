@@ -21,17 +21,41 @@ package numa
 // indexed, OS-page-coloured) machine avoided.
 const cacheWays = 4
 
+// access and the miss path below are hand-unrolled for exactly four ways;
+// this constant expression fails to compile if cacheWays changes.
+const _ = uint(cacheWays-4) + uint(4-cacheWays)
+
 // cache is a set-associative, line-tagged cache simulator with LRU
 // replacement. It tracks only tags (presence), not data — data correctness
 // is handled by the real Go slices. A cache is owned by exactly one
 // processor goroutine; the coherence merge touches it only while that
 // processor is blocked at a barrier.
+// A tag is uint32(line)+1 (0 = invalid): global line indices are bounded by
+// Space.reserve to fit 32 bits, and halving the tag width halves the host
+// cache footprint of the hot tag arrays (64 simulated processors' tags no
+// longer thrash the host LLC).
 type cache struct {
-	tags      []uint64 // cacheWays tags per set, LRU-ordered (way 0 = MRU); 0 = invalid
+	tags      []uint32 // cacheWays tags per set, LRU-ordered (way 0 = MRU); 0 = invalid
 	setMask   uint64
 	setBits   uint // log2(number of sets)
 	lineShift uint
 	cohEvicts uint64 // lines invalidated by coherence since last reset
+
+	// Conservative occupancy summary, maintained on install/invalidate, so
+	// the coherence merge can skip probing caches that cannot hold a written
+	// line. live counts valid tags; [minLine, maxLine] bounds every line
+	// installed since the last flush (never shrunk by invalidation).
+	live    int
+	minLine uint64
+	maxLine uint64
+
+	// gen counts tag mutations (LRU shuffles, installs, invalidations,
+	// flushes). Arrays record {line, gen} after each completed access; while
+	// gen is unchanged, no tag has moved, so that line provably still occupies
+	// the MRU way of its set and a repeat access may be charged as a hit
+	// without re-probing (and without the LRU reorder a real probe would do,
+	// because an MRU hit performs none). See Array.last.
+	gen uint64
 }
 
 func newCache(cacheBytes, lineBytes int) *cache {
@@ -55,10 +79,11 @@ func newCache(cacheBytes, lineBytes int) *cache {
 		bits = 1 // avoid zero shifts when there is a single set
 	}
 	return &cache{
-		tags:      make([]uint64, sets*cacheWays),
+		tags:      make([]uint32, sets*cacheWays),
 		setMask:   uint64(sets - 1),
 		setBits:   bits,
 		lineShift: shift,
+		minLine:   ^uint64(0),
 	}
 }
 
@@ -71,21 +96,62 @@ func (c *cache) setOf(line uint64) uint64 {
 	return (line ^ line>>c.setBits ^ line>>(2*c.setBits)) & c.setMask
 }
 
+// setBase returns the tag-array offset of line's set; it must stay
+// inlinable (the charge hot path uses it to probe the MRU way without a
+// function call — repeated accesses to the current line, i.e. every
+// streaming loop, resolve with two inlined loads).
+func (c *cache) setBase(line uint64) uint64 {
+	return ((line ^ line>>c.setBits ^ line>>(2*c.setBits)) & c.setMask) * cacheWays
+}
+
+// mruHit reports whether line occupies the MRU way of the set at base.
+func (c *cache) mruHit(base, line uint64) bool {
+	return c.tags[base] == uint32(line)+1
+}
+
 // access looks line up and installs it as MRU; reports whether it was a hit.
 func (c *cache) access(line uint64) bool {
-	base := c.setOf(line) * cacheWays
-	set := c.tags[base : base+cacheWays]
-	t := line + 1
-	for w := 0; w < cacheWays; w++ {
-		if set[w] == t {
-			// Hit: move to front (LRU update).
-			copy(set[1:w+1], set[:w])
-			set[0] = t
-			return true
-		}
+	base := c.setBase(line)
+	return c.mruHit(base, line) || c.accessSlow(base, line)
+}
+
+// accessSlow handles the non-MRU ways and the miss path. The ways are
+// unrolled: a hit shifts at most three tags with register moves, where the
+// generic copy() in a loop paid a runtime call per probe.
+func (c *cache) accessSlow(base, line uint64) bool {
+	c.gen++ // every path below reorders or installs tags
+	set := c.tags[base : base+cacheWays : base+cacheWays]
+	t := uint32(line) + 1
+	switch t {
+	case set[1]:
+		set[1] = set[0]
+		set[0] = t
+		return true
+	case set[2]:
+		set[2] = set[1]
+		set[1] = set[0]
+		set[0] = t
+		return true
+	case set[3]:
+		set[3] = set[2]
+		set[2] = set[1]
+		set[1] = set[0]
+		set[0] = t
+		return true
 	}
 	// Miss: evict LRU (last way), install as MRU.
-	copy(set[1:], set[:cacheWays-1])
+	if set[3] == 0 {
+		c.live++
+	}
+	if line < c.minLine {
+		c.minLine = line
+	}
+	if line > c.maxLine {
+		c.maxLine = line
+	}
+	set[3] = set[2]
+	set[2] = set[1]
+	set[1] = set[0]
 	set[0] = t
 	return false
 }
@@ -93,7 +159,7 @@ func (c *cache) access(line uint64) bool {
 // present reports whether line is cached, without touching LRU state.
 func (c *cache) present(line uint64) bool {
 	base := int(c.setOf(line) * cacheWays)
-	t := line + 1
+	t := uint32(line) + 1
 	for w := 0; w < cacheWays; w++ {
 		if c.tags[base+w] == t {
 			return true
@@ -106,13 +172,15 @@ func (c *cache) present(line uint64) bool {
 // reports whether the line was actually evicted.
 func (c *cache) invalidate(line uint64) bool {
 	base := int(c.setOf(line) * cacheWays)
-	t := line + 1
+	t := uint32(line) + 1
 	for w := 0; w < cacheWays; w++ {
 		if c.tags[base+w] == t {
 			// Compact the remaining ways forward.
 			copy(c.tags[base+w:base+cacheWays-1], c.tags[base+w+1:base+cacheWays])
 			c.tags[base+cacheWays-1] = 0
 			c.cohEvicts++
+			c.live--
+			c.gen++
 			return true
 		}
 	}
@@ -121,6 +189,10 @@ func (c *cache) invalidate(line uint64) bool {
 
 // flush empties the cache (used between experiment repetitions).
 func (c *cache) flush() {
+	c.gen++
 	clear(c.tags)
 	c.cohEvicts = 0
+	c.live = 0
+	c.minLine = ^uint64(0)
+	c.maxLine = 0
 }

@@ -1,0 +1,67 @@
+package numa
+
+import "o2k/internal/sim"
+
+// refModel routes charge and mergeEpoch through the straightforward
+// implementations below instead of the optimized hot paths in array.go. The
+// reference path recomputes every quantity directly from the machine Config
+// (divisions instead of shifts, Hops instead of the node tables, one Advance
+// and one write-set probe per line) so the differential test in ref_test.go
+// can assert that the two paths produce identical counters, virtual times,
+// and coherence evictions on randomized traces.
+//
+// The flag is package-internal and must only be flipped by tests, while no
+// simulation is running.
+var refModel bool
+
+// chargeRef is the pre-optimization cost model for one access: a cache probe,
+// then the miss latency from first principles (page-home lookup by division,
+// hop count from the machine topology), then the per-line write-set record.
+func (a *Array[T]) chargeRef(p *sim.Proc, li uint32, write bool) {
+	me := p.ID()
+	c := a.sp.caches[me]
+	gl := a.baseLine + uint64(li)
+	cfg := &a.sp.M.Cfg
+	if c.access(gl) {
+		p.CacheHits++
+		p.Advance(cfg.CacheHitNS)
+	} else {
+		home := int(a.pageHome[int(uint64(li)*uint64(cfg.LineBytes)/uint64(cfg.PageBytes))])
+		h := a.sp.M.Hops(me, home)
+		if h == 0 {
+			p.LocalMisses++
+			p.Advance(cfg.LocalMissNS)
+		} else {
+			p.RemoteMisses++
+			p.Advance(cfg.RemoteMissNS + sim.Time(h-1)*cfg.RemoteHopNS)
+		}
+	}
+	if write && a.shared {
+		a.recordWrite(me, li)
+	}
+}
+
+// mergeEpochRef is the pre-optimization coherence merge: line-major over each
+// writer's write-set, probing every other cache per line with no filtering.
+func (a *Array[T]) mergeEpochRef(caches []*cache, evicts []uint64) {
+	for w := range a.writeLines {
+		lines := a.writeLines[w]
+		if len(lines) == 0 {
+			continue
+		}
+		bits := a.writeBits[w]
+		for _, li := range lines {
+			gl := a.baseLine + uint64(li)
+			for q, c := range caches {
+				if q == w {
+					continue
+				}
+				if c.invalidate(gl) {
+					evicts[q]++
+				}
+			}
+			bits[li>>6] &^= uint64(1) << (li & 63)
+		}
+		a.writeLines[w] = lines[:0]
+	}
+}

@@ -1,0 +1,151 @@
+package numa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"o2k/internal/sim"
+)
+
+// procState is everything the cost model is allowed to change on a processor.
+type procState struct {
+	Clock    sim.Time
+	Phases   [sim.NumPhases]sim.Time
+	Counters sim.Counters
+}
+
+// traceResult snapshots the observable outcome of one trace execution.
+type traceResult struct {
+	Procs    []procState
+	Evicts   []uint64
+	PenLog   []sim.Time // concatenated MergeEpoch penalties, in call order
+	Checksum float64    // data written through the arrays (model-independent)
+}
+
+// runTrace executes a seeded random access trace against a fresh Space with
+// the given cost-model selection and returns the observable state. The trace
+// is generated from the seed alone, so two calls with the same seed perform
+// the identical operation sequence.
+func runTrace(t *testing.T, seed int64, useRef bool) traceResult {
+	t.Helper()
+	refModel = useRef
+	defer func() { refModel = false }()
+
+	const procs = 8
+	sp, _ := space(procs)
+	g := sim.NewGroup(procs)
+
+	shA := NewShared[float64](sp, 4096)
+	shA.PlaceInterleave()
+	shB := NewShared[int32](sp, 1000) // odd length: exercises partial last line
+	shB.PlaceBlock()
+	var priv []*Array[float64]
+	for i := 0; i < procs; i++ {
+		priv = append(priv, NewPrivate[float64](sp, i, 512))
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	phases := []sim.Phase{sim.PhaseCompute, sim.PhaseMark, sim.PhaseRemap}
+	res := traceResult{}
+	sum := 0.0
+
+	for step := 0; step < 4000; step++ {
+		p := g.Proc(rng.Intn(procs))
+		if rng.Intn(16) == 0 {
+			p.SetPhase(phases[rng.Intn(len(phases))])
+		}
+		switch rng.Intn(6) {
+		case 0:
+			sum += shA.Load(p, rng.Intn(shA.Len()))
+		case 1:
+			shA.Store(p, rng.Intn(shA.Len()), float64(step))
+		case 2:
+			shB.Touch(p, rng.Intn(shB.Len()), rng.Intn(2) == 0)
+		case 3:
+			lo := rng.Intn(shA.Len())
+			hi := lo + rng.Intn(shA.Len()-lo)
+			shA.TouchRange(p, lo, hi, rng.Intn(2) == 0)
+		case 4:
+			lo := rng.Intn(shB.Len())
+			shB.Fill(p, lo, lo+rng.Intn(shB.Len()-lo), int32(step))
+		case 5:
+			a := priv[p.ID()]
+			if rng.Intn(2) == 0 {
+				a.Store(p, rng.Intn(a.Len()), float64(step))
+			} else {
+				sum += a.Load(p, rng.Intn(a.Len()))
+			}
+		}
+		// Periodic synchronization point: resolve coherence and charge the
+		// penalties exactly as a barrier would.
+		if step%257 == 256 {
+			pen := sp.MergeEpoch()
+			for i, d := range pen {
+				g.Proc(i).Advance(d)
+				res.PenLog = append(res.PenLog, d)
+			}
+		}
+	}
+
+	for i := 0; i < procs; i++ {
+		p := g.Proc(i)
+		res.Procs = append(res.Procs, procState{
+			Clock:    p.Now(),
+			Phases:   p.PhaseTimes(),
+			Counters: p.Counters,
+		})
+	}
+	res.Evicts = sp.CohEvictions()
+	res.Checksum = sum
+	return res
+}
+
+// TestFastPathMatchesReference is the differential test for the optimized
+// cost model (DESIGN.md §5.4): the shift/table fast paths in array.go and the
+// filtered, inverted coherence merge must be observationally identical to the
+// straightforward reference implementations in ref.go — same virtual clocks,
+// same per-phase attribution, same counters, same coherence evictions, same
+// merge penalties — on randomized traces.
+func TestFastPathMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42, 20260805} {
+		fast := runTrace(t, seed, false)
+		ref := runTrace(t, seed, true)
+		if !reflect.DeepEqual(fast, ref) {
+			t.Fatalf("seed %d: fast path diverged from reference\nfast: %+v\nref:  %+v",
+				seed, fast, ref)
+		}
+	}
+}
+
+// TestTouchRangeMatchesPerLine pins the bulk-path equivalence specifically:
+// a TouchRange over [lo, hi) must be indistinguishable from touching each
+// element's line exactly once in ascending order.
+func TestTouchRangeMatchesPerLine(t *testing.T) {
+	run := func(bulk bool) (procState, []uint64) {
+		sp, _ := space(4)
+		g := sim.NewGroup(4)
+		a := NewShared[float64](sp, 2048)
+		a.PlaceInterleave()
+		p := g.Proc(1)
+		if bulk {
+			a.TouchRange(p, 37, 1500, true)
+		} else {
+			l0, l1 := a.lineOf(37), a.lineOf(1499)
+			for li := l0; li <= l1; li++ {
+				a.charge(p, li, true)
+			}
+		}
+		pen := sp.MergeEpoch()
+		for i, d := range pen {
+			g.Proc(i).Advance(d)
+		}
+		return procState{p.Now(), p.PhaseTimes(), p.Counters}, sp.CohEvictions()
+	}
+	bulkSt, bulkEv := run(true)
+	lineSt, lineEv := run(false)
+	if !reflect.DeepEqual(bulkSt, lineSt) || !reflect.DeepEqual(bulkEv, lineEv) {
+		t.Fatalf("bulk TouchRange diverged from per-line charging:\nbulk: %+v %v\nline: %+v %v",
+			bulkSt, bulkEv, lineSt, lineEv)
+	}
+}

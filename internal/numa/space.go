@@ -20,6 +20,14 @@ type Space struct {
 	mu     sync.Mutex
 	shared []epochTracker // shared arrays with live write-sets
 
+	// Scratch for MergeEpoch, reused across barrier episodes. Safe because
+	// MergeEpoch only runs from a barrier rendezvous hook while every
+	// processor is blocked, and each participant reads its penalty entry
+	// before leaving the barrier — so the previous episode's slices are
+	// fully consumed before the next merge can start.
+	mergeEvicts []uint64
+	mergePen    []sim.Time
+
 	allocBytes atomic.Uint64
 }
 
@@ -42,13 +50,22 @@ func NewSpace(m *machine.Machine) *Space {
 }
 
 // reserve claims an address range of n bytes aligned to the page size.
+//
+// The total address range is bounded so that every global line index fits a
+// 32-bit cache tag (see cache.go): with 128-byte lines that is half a
+// terabyte of simulated memory, far beyond any workload here — the backing
+// Go slices would exhaust host memory long before this panics.
 func (s *Space) reserve(n int) uint64 {
 	pb := uint64(s.M.Cfg.PageBytes)
 	sz := (uint64(n) + pb - 1) / pb * pb
 	if sz == 0 {
 		sz = pb
 	}
-	return s.nextBase.Add(sz) - sz
+	end := s.nextBase.Add(sz)
+	if end/uint64(s.M.Cfg.LineBytes) >= 1<<32-1 {
+		panic("numa: address space exhausted (global line index no longer fits a 32-bit cache tag)")
+	}
+	return end - sz
 }
 
 func (s *Space) registerShared(t epochTracker) {
@@ -71,14 +88,19 @@ func (s *Space) AllocBytes() uint64 { return s.allocBytes.Load() }
 // MergeEpoch must be called while every processor in the space is blocked
 // (i.e., from inside a barrier's rendezvous), since it touches all caches.
 func (s *Space) MergeEpoch() []sim.Time {
-	evicts := make([]uint64, len(s.caches))
+	if s.mergeEvicts == nil {
+		s.mergeEvicts = make([]uint64, len(s.caches))
+		s.mergePen = make([]sim.Time, len(s.caches))
+	}
+	evicts := s.mergeEvicts
+	clear(evicts)
 	s.mu.Lock()
 	trackers := s.shared
 	s.mu.Unlock()
 	for _, t := range trackers {
 		t.mergeEpoch(s.caches, evicts)
 	}
-	pen := make([]sim.Time, len(evicts))
+	pen := s.mergePen
 	per := s.M.Cfg.CohInvalPerLine
 	for i, e := range evicts {
 		pen[i] = sim.Time(e) * per
@@ -93,6 +115,24 @@ func (s *Space) InvalidateLines(pe int, lines []uint64) int {
 	c := s.caches[pe]
 	n := 0
 	for _, l := range lines {
+		if c.invalidate(l) {
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidateSpan drops the contiguous global line range [lo, hi) from
+// processor pe's cache and returns how many lines were actually evicted. The
+// occupancy filter makes the no-overlap case O(1). Like MergeEpoch, it must
+// only be called while pe is blocked at a rendezvous.
+func (s *Space) InvalidateSpan(pe int, lo, hi uint64) int {
+	c := s.caches[pe]
+	if c.live == 0 || hi <= lo || hi-1 < c.minLine || lo > c.maxLine {
+		return 0
+	}
+	n := 0
+	for l := lo; l < hi; l++ {
 		if c.invalidate(l) {
 			n++
 		}

@@ -74,6 +74,12 @@ func (w *World) completePuts() []sim.Time {
 }
 
 // logPut records that lines [lo,hi) of global line space were put to pe.
+//
+// Perf note (DESIGN.md §5.4): the log is deliberately per-line rather than
+// span-based. Collapsing it to coalesced [lo,hi) spans (invalidation is
+// idempotent, so counts would not change) is a known win, but any code-line
+// change in this package shifts Table 5's LoC measurement and therefore the
+// frozen stdout bytes — do it in a PR that updates the golden hash.
 func (w *World) logPut(pe int, lo, hi uint64) {
 	w.mu.Lock()
 	ls := w.putLines[pe]

@@ -2,8 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"runtime/debug"
-	"sync"
 )
 
 // Phase labels the activity that virtual time is attributed to. The set is
@@ -106,12 +106,21 @@ func (p *Proc) SetPhase(ph Phase) Phase {
 
 // Advance charges d of virtual time to the current phase. Negative d panics:
 // virtual clocks never run backwards.
+//
+// Advance runs once per costed memory access, so it must stay inlinable; the
+// panic formatting lives in advanceNegative to keep it under the inliner
+// budget.
 func (p *Proc) Advance(d Time) {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: proc %d advanced by negative time %d", p.id, d))
+		p.advanceNegative(d)
 	}
 	p.clock += d
 	p.phaseTime[p.phase] += d
+}
+
+//go:noinline
+func (p *Proc) advanceNegative(d Time) {
+	panic(fmt.Sprintf("sim: proc %d advanced by negative time %d", p.id, d))
 }
 
 // AdvanceTo moves the clock forward to t if t is in the future, charging the
@@ -130,8 +139,17 @@ func (p *Proc) PhaseTime(ph Phase) Time { return p.phaseTime[ph] }
 func (p *Proc) PhaseTimes() [NumPhases]Time { return p.phaseTime }
 
 // Group is a gang of simulated processors that execute one SPMD program.
+//
+// The gang's worker goroutines are created lazily on the first Run and
+// persist across Run calls: experiments invoke Run once per adaptation cycle
+// or time step, and respawning P goroutines per region was measurable
+// scheduler churn. The workers hold no reference to the Group itself — only
+// to their Proc and channels — so an abandoned Group is collected normally;
+// a runtime cleanup closes the work channels and the workers exit.
 type Group struct {
 	procs []*Proc
+	work  []chan func(*Proc) // one channel per worker; nil until first Run
+	res   chan *ProcPanic    // completion per worker per Run (nil = clean)
 }
 
 // NewGroup creates n processors with zeroed clocks, ranked 0..n-1.
@@ -144,6 +162,40 @@ func NewGroup(n int) *Group {
 		g.procs[i] = &Proc{id: i}
 	}
 	return g
+}
+
+// start spawns the persistent worker gang.
+func (g *Group) start() {
+	g.res = make(chan *ProcPanic, len(g.procs))
+	g.work = make([]chan func(*Proc), len(g.procs))
+	for i, p := range g.procs {
+		ch := make(chan func(*Proc))
+		g.work[i] = ch
+		go gangWorker(p, ch, g.res)
+	}
+	runtime.AddCleanup(g, func(work []chan func(*Proc)) {
+		for _, ch := range work {
+			close(ch)
+		}
+	}, g.work)
+}
+
+// gangWorker executes bodies for one processor until its channel closes.
+func gangWorker(p *Proc, work <-chan func(*Proc), res chan<- *ProcPanic) {
+	for body := range work {
+		res <- runBody(p, body)
+	}
+}
+
+// runBody runs body on p, converting an escaped panic into a *ProcPanic.
+func runBody(p *Proc, body func(*Proc)) (pp *ProcPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			pp = &ProcPanic{Rank: p.id, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	body(p)
+	return nil
 }
 
 // Size returns the number of processors in the group.
@@ -175,9 +227,11 @@ func (e *ProcPanic) Unwrap() error {
 	return nil
 }
 
-// Run executes body once per processor, each on its own goroutine, and
-// returns when all have finished. This is the SPMD entry point: body receives
-// the Proc it owns and may use it with any of the model runtimes.
+// Run executes body once per processor, each on its own worker goroutine,
+// and returns when all have finished. This is the SPMD entry point: body
+// receives the Proc it owns and may use it with any of the model runtimes.
+// Run is not safe for concurrent use on the same Group (the Procs are
+// single-owner); sequential Runs reuse the persistent gang.
 //
 // If any body panics, Run waits for the rest of the gang to unwind (the
 // barrier/reducer stall watchdog guarantees participants blocked on the dead
@@ -186,34 +240,25 @@ func (e *ProcPanic) Unwrap() error {
 // preferred deterministically: a non-stall panic beats a StallError (stalls
 // are downstream symptoms), then the lowest rank wins.
 func (g *Group) Run(body func(p *Proc)) {
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first *ProcPanic
-	)
-	wg.Add(len(g.procs))
-	for _, p := range g.procs {
-		go func(p *Proc) {
-			defer wg.Done()
-			defer func() {
-				r := recover()
-				if r == nil {
-					return
-				}
-				stack := debug.Stack()
-				isStall := func(v any) bool { _, ok := v.(*StallError); return ok }
-				mu.Lock()
-				if first == nil ||
-					(isStall(first.Value) && !isStall(r)) ||
-					(isStall(first.Value) == isStall(r) && p.id < first.Rank) {
-					first = &ProcPanic{Rank: p.id, Value: r, Stack: stack}
-				}
-				mu.Unlock()
-			}()
-			body(p)
-		}(p)
+	if g.work == nil {
+		g.start()
 	}
-	wg.Wait()
+	for _, ch := range g.work {
+		ch <- body
+	}
+	var first *ProcPanic
+	isStall := func(v any) bool { _, ok := v.(*StallError); return ok }
+	for range g.procs {
+		pp := <-g.res
+		if pp == nil {
+			continue
+		}
+		if first == nil ||
+			(isStall(first.Value) && !isStall(pp.Value)) ||
+			(isStall(first.Value) == isStall(pp.Value) && pp.Rank < first.Rank) {
+			first = pp
+		}
+	}
 	if first != nil {
 		panic(first)
 	}

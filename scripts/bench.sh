@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+set -euo pipefail
+
+# bench.sh — measure the full-scale experiment suite and write BENCH_<pr>.json.
+#
+# Usage: scripts/bench.sh <pr> [baseline-rev] [runs]
+#
+# Builds o2kbench from the working tree and times `o2kbench -exp all -jobs 1`
+# <runs> times (default 3). When a baseline revision is given, the same
+# command is also timed on a clean checkout of that revision (via a temporary
+# git worktree) with the runs interleaved current/baseline, so load spikes hit
+# both sides evenly. The recorded statistic is the minimum, which is the
+# stable estimator of true cost on a machine with background noise.
+#
+# The output schema (o2k-bench/v1) is documented in README.md.
+
+pr=${1:?usage: scripts/bench.sh <pr> [baseline-rev] [runs]}
+baseline=${2:-}
+runs=${3:-3}
+bench_args=(-exp all -jobs 1)
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+
+tmp=$(mktemp -d)
+cleanup() {
+    if [[ -n "$baseline" ]]; then
+        git worktree remove --force "$tmp/baseline" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "building current o2kbench..." >&2
+go build -o "$tmp/o2kbench" ./cmd/o2kbench
+if [[ -n "$baseline" ]]; then
+    echo "building baseline o2kbench at $baseline..." >&2
+    git worktree add --detach --quiet "$tmp/baseline" "$baseline"
+    (cd "$tmp/baseline" && go build -o "$tmp/o2kbench-baseline" ./cmd/o2kbench)
+fi
+
+time_once() { # binary -> seconds on stdout
+    local s e
+    s=$(date +%s.%N)
+    "$1" "${bench_args[@]}" > /dev/null
+    e=$(date +%s.%N)
+    awk -v a="$s" -v b="$e" 'BEGIN{printf "%.2f", b-a}'
+}
+
+cur_runs=() base_runs=()
+for i in $(seq "$runs"); do
+    echo "run $i/$runs (current)..." >&2
+    cur_runs+=("$(time_once "$tmp/o2kbench")")
+    if [[ -n "$baseline" ]]; then
+        echo "run $i/$runs (baseline)..." >&2
+        base_runs+=("$(time_once "$tmp/o2kbench-baseline")")
+    fi
+done
+
+min_of() { printf '%s\n' "$@" | sort -g | head -1; }
+join_csv() { local IFS=,; echo "$*"; }
+
+cur_min=$(min_of "${cur_runs[@]}")
+out="BENCH_${pr}.json"
+{
+    echo "{"
+    echo "  \"schema\": \"o2k-bench/v1\","
+    echo "  \"pr\": ${pr},"
+    echo "  \"date\": \"$(date -u +%Y-%m-%d)\","
+    echo "  \"command\": \"o2kbench ${bench_args[*]}\","
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"host_cpus\": $(nproc),"
+    echo "  \"runs_s\": [$(join_csv "${cur_runs[@]}")],"
+    if [[ -n "$baseline" ]]; then
+        base_min=$(min_of "${base_runs[@]}")
+        speedup=$(awk -v b="$base_min" -v c="$cur_min" 'BEGIN{printf "%.2f", b/c}')
+        echo "  \"min_s\": ${cur_min},"
+        echo "  \"baseline\": {"
+        echo "    \"rev\": \"$(git rev-parse --short "$baseline")\","
+        echo "    \"runs_s\": [$(join_csv "${base_runs[@]}")],"
+        echo "    \"min_s\": ${base_min},"
+        echo "    \"speedup\": ${speedup}"
+        echo "  }"
+    else
+        echo "  \"min_s\": ${cur_min}"
+    fi
+    echo "}"
+} > "$out"
+echo "wrote $out" >&2
+cat "$out"
