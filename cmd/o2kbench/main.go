@@ -4,7 +4,17 @@
 //
 //	o2kbench [-exp name] [-quick] [-procs 1,2,4,8,16,32,64] [-format text|json]
 //	         [-jobs N] [-timeout d] [-cellretries N] [-runreport] [-list]
+//	         [-cache dir] [-cache-verify] [-cache-clear]
 //	         [-cpuprofile f] [-memprofile f]
+//
+// -cache DIR attaches a persistent, crash-safe cell cache (DESIGN.md §5.5):
+// completed metrics cells are stored content-addressed under DIR and served
+// to later invocations, making repeat runs near-instant. The cache is
+// strictly an accelerator — any failure (unreadable directory, corrupt or
+// stale entry, failed write) degrades to recomputation with a stderr
+// warning and counters under -runreport; stdout bytes and the exit code
+// never depend on cache state. -cache-verify scans and evicts bad entries,
+// -cache-clear empties the cache; both exit without running experiments.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (the inputs to
 // the hot-path work recorded in DESIGN.md §5.4); profiles go to separate
@@ -43,6 +53,7 @@ import (
 	"o2k/internal/core"
 	"o2k/internal/experiments"
 	"o2k/internal/runner"
+	"o2k/internal/runner/diskcache"
 )
 
 // listTable renders the experiment index from the registry.
@@ -71,6 +82,37 @@ func parseProcs(s string) ([]int, error) {
 	return ps, nil
 }
 
+// cacheMaintenance performs the standalone -cache-clear / -cache-verify
+// operations: clear wins when both are given. Exit status: 0 clean, 1 the
+// cache had bad entries (verify) or could not be maintained.
+func cacheMaintenance(dir string, clear, verify bool) int {
+	dc, err := diskcache.Open(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "o2kbench:", err)
+		return 1
+	}
+	if clear {
+		n, err := dc.Clear()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "o2kbench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "o2kbench: cleared %d cache entries from %s\n", n, dir)
+		return 0
+	}
+	st, err := dc.Verify()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "o2kbench:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "o2kbench: verified %d cache entries: %d bad (%d stale), bad entries evicted\n",
+		st.Checked, st.Bad, st.Stale)
+	if st.Bad > 0 {
+		return 1
+	}
+	return 0
+}
+
 // main delegates to run so that deferred profile writers fire before the
 // process exits (os.Exit would skip them).
 func main() {
@@ -86,6 +128,9 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "per-cell compute deadline (0 = none); expired cells render FAILED(timeout)")
 	retries := flag.Int("cellretries", 0, "retry budget for cells that fail with a transient error")
 	runreport := flag.Bool("runreport", false, "print cell cache/timing report to stderr (JSON with -format json)")
+	cacheDir := flag.String("cache", "", "persistent cell-cache directory (created if missing); cache failures degrade to recompute")
+	cacheVerify := flag.Bool("cache-verify", false, "with -cache: validate every entry, evict bad ones, and exit (1 if any were bad)")
+	cacheClear := flag.Bool("cache-clear", false, "with -cache: remove every entry and exit")
 	list := flag.Bool("list", false, "list every experiment name, its aliases, and its description")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
@@ -144,6 +189,14 @@ func run() int {
 	}
 	o.Jobs = *jobs
 
+	if (*cacheVerify || *cacheClear) && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "o2kbench: -cache-verify/-cache-clear require -cache DIR")
+		return 2
+	}
+	if *cacheVerify || *cacheClear {
+		return cacheMaintenance(*cacheDir, *cacheClear, *cacheVerify)
+	}
+
 	// SIGINT/SIGTERM cancel the engine: blocked cell requesters unblock with
 	// FAILED(cancelled) entries and the run drains instead of being killed
 	// mid-write.
@@ -153,6 +206,15 @@ func run() int {
 		CellTimeout: *timeout,
 		Retries:     *retries,
 	})
+	if *cacheDir != "" {
+		// A cache that cannot even be opened is a warning, not a failure:
+		// the run proceeds memory-only with identical output.
+		if dc, err := diskcache.Open(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "o2kbench: cache disabled:", err)
+		} else {
+			eng.SetCache(dc)
+		}
+	}
 	tables, err := experiments.RunOn(eng, *exp, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "o2kbench:", err)

@@ -2,9 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"o2k/internal/experiments"
+	"o2k/internal/runner"
+	"o2k/internal/runner/diskcache"
 )
 
 func TestRegistryResolvesAllNames(t *testing.T) {
@@ -70,5 +74,56 @@ func TestTablesSerializeToJSON(t *testing.T) {
 	}
 	if len(back) != 1 || back[0].Title == "" || len(back[0].Rows) == 0 {
 		t.Fatalf("json round trip lost data: %+v", back)
+	}
+}
+
+func TestCacheMaintenance(t *testing.T) {
+	dir := t.TempDir()
+
+	// Populate the cache by running a small experiment through an engine
+	// wired exactly the way run() wires it.
+	dc, err := diskcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := experiments.QuickOpts()
+	o.Procs = []int{1, 2}
+	eng := runner.New(1)
+	eng.SetCache(dc)
+	if _, err := experiments.RunOn(eng, "mesh-speedup", o); err != nil {
+		t.Fatal(err)
+	}
+	n, err := dc.Len()
+	if err != nil || n == 0 {
+		t.Fatalf("no cache entries written (n=%d, err=%v)", n, err)
+	}
+
+	if code := cacheMaintenance(dir, false, true); code != 0 {
+		t.Fatalf("verify of a clean cache exited %d", code)
+	}
+
+	// Damage one entry: verify must report it (exit 1) and evict it.
+	var victim string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && victim == "" {
+			victim = path
+		}
+		return nil
+	})
+	if err := os.WriteFile(victim, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := cacheMaintenance(dir, false, true); code != 1 {
+		t.Fatalf("verify of a damaged cache exited %d, want 1", code)
+	}
+	if code := cacheMaintenance(dir, false, true); code != 0 {
+		t.Fatal("verify did not evict the damaged entry")
+	}
+
+	if code := cacheMaintenance(dir, true, false); code != 0 {
+		t.Fatal("clear failed")
+	}
+	if n, _ := dc.Len(); n != 0 {
+		t.Fatalf("%d entries survived -cache-clear", n)
 	}
 }

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Stable JSON codec for Metrics, the payload type of the persistent cell
+// cache (internal/runner/diskcache). The encoding must be lossless — a
+// decoded Metrics renders the exact bytes in every table the original
+// would — and that holds because every field is exported and every value
+// round-trips exactly through encoding/json: integers (including the uint64
+// traffic counters) are emitted as full-precision decimals, and float64s use
+// Go's shortest-exact formatting, which parses back to the identical bit
+// pattern. The codec tests pin this with a Fingerprint equality check.
+
+// EncodeMetrics serializes m for the persistent cell cache. It fails only
+// on non-finite floats (which the deterministic simulator never produces);
+// the caller treats a failure as "do not cache".
+func EncodeMetrics(m Metrics) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// DecodeMetrics is the strict inverse of EncodeMetrics: unknown fields and
+// trailing data are errors, so an entry written by a different Metrics
+// schema that slipped past the cache's version fence is rejected (and
+// recomputed) instead of being half-read.
+func DecodeMetrics(data []byte) (Metrics, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Metrics
+	if err := dec.Decode(&m); err != nil {
+		return Metrics{}, fmt.Errorf("core: decode metrics: %w", err)
+	}
+	if dec.More() {
+		return Metrics{}, fmt.Errorf("core: decode metrics: trailing data")
+	}
+	return m, nil
+}

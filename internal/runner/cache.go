@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"o2k/internal/runner/diskcache"
+)
+
+// This file is the engine's bridge to the persistent cell cache
+// (internal/runner/diskcache): which cells persist, how an outcome —
+// a value or its memoized error — becomes a payload, and when a stored
+// outcome may be trusted. The division of labor: diskcache owns entry
+// integrity (atomic commit, checksum, version fence) and the engine owns
+// outcome semantics (typed payloads, which errors are deterministic enough
+// to persist). Every failure on this layer degrades to recomputation —
+// the cache can make a run slower, never different.
+
+// Codec serializes one cell type's successful value for the persistent
+// cache. Only cells whose helpers pass a codec to DoCached persist; plan
+// cells hold live mesh/decomposition structures that are cheap to rebuild
+// and are deliberately left memory-only (nil codec).
+type Codec struct {
+	// Encode turns the cell's value into a stable payload. An error means
+	// "do not cache this value"; the run is unaffected.
+	Encode func(v any) ([]byte, error)
+	// Decode is the strict inverse. An error marks the entry corrupt: the
+	// engine evicts it and recomputes.
+	Decode func(data []byte) (any, error)
+}
+
+// CachedError is a deterministic cell failure restored from the persistent
+// cache. It preserves both the original message and the original FAILED(…)
+// table rendering, so a warm run's failed entries are byte-identical to the
+// cold run that first produced them.
+type CachedError struct {
+	Msg   string // original err.Error()
+	Label string // original FailLabel(err) rendering
+}
+
+func (e *CachedError) Error() string { return e.Msg }
+
+// outcomePayload is the cached form of one completed cell: exactly one of
+// Err or Val is set.
+type outcomePayload struct {
+	Err *cachedErrPayload `json:"err,omitempty"`
+	Val json.RawMessage   `json:"val,omitempty"`
+}
+
+type cachedErrPayload struct {
+	Msg   string `json:"msg"`
+	Label string `json:"label"`
+}
+
+// persistable reports whether a cell outcome is a property of the cell
+// itself rather than of this run's environment. Timeouts, cancellations,
+// and transient failures depend on deadlines, signals, and luck — caching
+// them would convert a one-off hiccup into a persistent wrong answer.
+// Values, deterministic compute errors, and panics (the simulator is
+// deterministic, so a panic reproduces) persist.
+func persistable(err error) bool {
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return !IsTransient(err)
+}
+
+// SetCache attaches a persistent cache to the engine. It must be called
+// before the first Do; a nil cache (the default) keeps the engine
+// memory-only. Cells opt in per call site by passing a Codec to DoCached.
+func (e *Engine) SetCache(c *diskcache.Cache) { e.cache = c }
+
+// Cache returns the attached persistent cache, or nil.
+func (e *Engine) Cache() *diskcache.Cache { return e.cache }
+
+// diskLoad tries to satisfy key from the persistent cache. ok is false on
+// any miss or failure — the caller computes as if no cache existed. A
+// payload that passed diskcache's integrity checks but fails to decode here
+// is reclassified as corrupt and evicted.
+func (e *Engine) diskLoad(key string, codec *Codec) (val any, cerr error, ok bool) {
+	if e.cache == nil || codec == nil {
+		return nil, nil, false
+	}
+	payload, ok := e.cache.Get(key)
+	if !ok {
+		return nil, nil, false
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	var out outcomePayload
+	if err := dec.Decode(&out); err != nil {
+		e.cache.Invalidate(key)
+		return nil, nil, false
+	}
+	switch {
+	case out.Err != nil:
+		return nil, &CachedError{Msg: out.Err.Msg, Label: out.Err.Label}, true
+	case out.Val != nil:
+		v, err := codec.Decode(out.Val)
+		if err != nil {
+			e.cache.Invalidate(key)
+			return nil, nil, false
+		}
+		return v, nil, true
+	default:
+		e.cache.Invalidate(key)
+		return nil, nil, false
+	}
+}
+
+// diskStore persists a freshly computed outcome, best-effort: encode
+// failures and write failures are counted by the cache and otherwise
+// ignored. Outcomes are not stored while the engine is cancelling — a
+// custom cancellation cause is environmental even when it does not unwrap
+// to context.Canceled.
+func (e *Engine) diskStore(key string, codec *Codec, val any, cellErr error) {
+	if e.cache == nil || codec == nil || e.ctx.Err() != nil || !persistable(cellErr) {
+		return
+	}
+	var out outcomePayload
+	if cellErr != nil {
+		out.Err = &cachedErrPayload{Msg: cellErr.Error(), Label: FailLabel(cellErr)}
+	} else {
+		data, err := codec.Encode(val)
+		if err != nil {
+			return
+		}
+		out.Val = data
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return
+	}
+	e.cache.Put(key, payload) // counted by the cache on failure
+}
+
+// DiskStats is the persistent-cache section of a Report snapshot.
+type DiskStats struct {
+	Hits     int64 `json:"hits"`      // cells served from disk without simulation
+	Misses   int64 `json:"misses"`    // disk probes that fell through to compute
+	Corrupt  int64 `json:"corrupt"`   // integrity failures detected (and evicted)
+	Stale    int64 `json:"stale"`     // version-fence rejections (and evicted)
+	Evicted  int64 `json:"evicted"`   // entry files removed
+	PutErrs  int64 `json:"put_errs"`  // failed entry commits
+	ReadErrs int64 `json:"read_errs"` // I/O errors on probe
+}
+
+func diskStats(c diskcache.Counters) *DiskStats {
+	return &DiskStats{
+		Hits:     c.Hits,
+		Misses:   c.Misses,
+		Corrupt:  c.Corrupt,
+		Stale:    c.Stale,
+		Evicted:  c.Evicted,
+		PutErrs:  c.PutErrs,
+		ReadErrs: c.ReadErrs,
+	}
+}
+
+// String renders the stats for the -runreport table.
+func (d *DiskStats) String() string {
+	s := fmt.Sprintf("hits=%d misses=%d corrupt=%d stale=%d evicted=%d",
+		d.Hits, d.Misses, d.Corrupt, d.Stale, d.Evicted)
+	if d.PutErrs > 0 || d.ReadErrs > 0 {
+		s += fmt.Sprintf(" put_errs=%d read_errs=%d", d.PutErrs, d.ReadErrs)
+	}
+	return s
+}

@@ -46,6 +46,27 @@ func metricsRes(v any, err error) Res {
 	return Res{M: v.(core.Metrics)}
 }
 
+// MetricsCodec persists metrics run cells in the on-disk cache: the strict
+// lossless JSON codec from core (see core/codec.go for why the round-trip
+// is exact). Plan cells stay memory-only — they hold live mesh structures
+// and are cheap to rebuild relative to the runs that consume them.
+var MetricsCodec = &Codec{
+	Encode: func(v any) ([]byte, error) {
+		m, ok := v.(core.Metrics)
+		if !ok {
+			return nil, fmt.Errorf("runner: metrics cell holds %T", v)
+		}
+		return core.EncodeMetrics(m)
+	},
+	Decode: func(data []byte) (any, error) {
+		m, err := core.DecodeMetrics(data)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	},
+}
+
 // meshPlanWorkload strips the workload fields that BuildPlans does not read
 // (solver depth, auxiliary field count, the CC-SAS page-migration knob), so
 // ablation variants that differ only in those knobs share one plan cell.
@@ -80,7 +101,7 @@ func (e *Engine) Mesh(model core.Model, cfg machine.Config, w adaptmesh.Workload
 		return Res{Err: fmt.Errorf("mesh plans: %w", err)}
 	}
 	key := core.CellKey("mesh/run", model, cfg, w)
-	return metricsRes(e.Do(key, fmt.Sprintf("mesh %v P=%d", model, cfg.Procs), func(context.Context) (any, error) {
+	return metricsRes(e.DoCached(key, fmt.Sprintf("mesh %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
 		return adaptmesh.RunWithPlans(model, machine.MustNew(cfg), w, plans), nil
 	}))
 }
@@ -105,7 +126,7 @@ func (e *Engine) MeshHybrid(cfg machine.Config, w adaptmesh.Workload) Res {
 		return Res{Err: fmt.Errorf("mesh plans: %w", err)}
 	}
 	key := core.CellKey("mesh/hybrid", cfg, w)
-	return metricsRes(e.Do(key, fmt.Sprintf("mesh MP+SAS P=%d", cfg.Procs), func(context.Context) (any, error) {
+	return metricsRes(e.DoCached(key, fmt.Sprintf("mesh MP+SAS P=%d", cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
 		return adaptmesh.RunHybridWithPlans(m, w, plans), nil
 	}))
 }
@@ -129,7 +150,7 @@ func (e *Engine) NBody(model core.Model, cfg machine.Config, w barnes.Workload) 
 		return Res{Err: fmt.Errorf("n-body plans: %w", err)}
 	}
 	key := core.CellKey("nbody/run", model, cfg, w)
-	return metricsRes(e.Do(key, fmt.Sprintf("n-body %v P=%d", model, cfg.Procs), func(context.Context) (any, error) {
+	return metricsRes(e.DoCached(key, fmt.Sprintf("n-body %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
 		return barnes.RunWithPlans(model, machine.MustNew(cfg), w, plans), nil
 	}))
 }
@@ -160,7 +181,7 @@ func (e *Engine) CG(model core.Model, cfg machine.Config, w cg.Workload) Res {
 		return Res{Err: fmt.Errorf("cg plan: %w", err)}
 	}
 	key := core.CellKey("cg/run", model, cfg, w)
-	return metricsRes(e.Do(key, fmt.Sprintf("cg %v P=%d", model, cfg.Procs), func(context.Context) (any, error) {
+	return metricsRes(e.DoCached(key, fmt.Sprintf("cg %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
 		return cg.RunWithPlan(model, machine.MustNew(cfg), w, plan), nil
 	}))
 }
@@ -176,7 +197,7 @@ func (e *Engine) CGModels(cfg machine.Config, w cg.Workload) [3]Res {
 // it has no plan stage.
 func (e *Engine) Stencil(model core.Model, cfg machine.Config, w stencil.Workload) Res {
 	key := core.CellKey("stencil/run", model, cfg, w)
-	return metricsRes(e.Do(key, fmt.Sprintf("stencil %v P=%d", model, cfg.Procs), func(context.Context) (any, error) {
+	return metricsRes(e.DoCached(key, fmt.Sprintf("stencil %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
 		return stencil.Run(model, machine.MustNew(cfg), w), nil
 	}))
 }

@@ -1,0 +1,382 @@
+// Package diskcache is the crash-safe persistent half of the runner's cell
+// cache: a content-addressed store mapping a cell's core.CellKey to the JSON
+// payload of its completed outcome, shared by every o2kbench invocation and
+// CI verdict job that points at the same directory.
+//
+// The store is built around one invariant — a broken cache may slow a run
+// down, but it can never change the run's bytes or fail it (DESIGN.md §5.5).
+// Three mechanisms enforce it:
+//
+//   - atomic commits: an entry is written to a temp file in the same
+//     directory and renamed into place, so a crash (even SIGKILL) at any
+//     instant leaves either the old entry, the new entry, or no entry —
+//     never a half-written one that parses;
+//   - per-entry integrity: each entry records a SHA-256 checksum of its
+//     payload plus the key it claims to answer for; torn writes, bit rot,
+//     and misfiled entries are detected on read, counted as corruption,
+//     evicted, and reported as misses;
+//   - a version fence: entries carry the schema identifier and a
+//     binary fingerprint (Fingerprint); entries written by a different
+//     schema or binary are stale, never trusted, and evicted on contact.
+//
+// Every failure path — open error, read error, parse error, checksum
+// mismatch, fence skew — degrades to a miss and bumps a counter that
+// runner.Report surfaces under `o2kbench -runreport`. The FS seam (see FS
+// and FaultFS) lets tests inject each of those failures deterministically.
+package diskcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
+)
+
+// Schema identifies the on-disk entry format. Bump it when the envelope or
+// payload encoding changes incompatibly; old entries then read as stale and
+// are recomputed.
+const Schema = "o2k-cellcache/v1"
+
+// entry is the on-disk envelope around one cell outcome. Payload is kept as
+// raw JSON so Sum can be verified over the exact stored bytes.
+type entry struct {
+	Schema  string          `json:"schema"`
+	Fence   string          `json:"fence"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"` // SHA-256 hex of Payload bytes
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Counters is a snapshot of the cache's degradation telemetry. Every Get
+// increments exactly one of Hits/Misses; the remaining counters classify
+// why a miss happened or what maintenance was performed.
+type Counters struct {
+	Hits     int64 `json:"hits"`      // entries served intact
+	Misses   int64 `json:"misses"`    // absent, unreadable, stale, or corrupt
+	Corrupt  int64 `json:"corrupt"`   // integrity failures: parse, checksum, key mismatch
+	Stale    int64 `json:"stale"`     // schema/fingerprint fence mismatches
+	Evicted  int64 `json:"evicted"`   // entry files removed (corrupt, stale, cleared)
+	PutErrs  int64 `json:"put_errs"`  // failed writes (entry not committed)
+	ReadErrs int64 `json:"read_errs"` // I/O errors on read (distinct from absent)
+}
+
+// Cache is a content-addressed store of cell outcomes under one directory.
+// It is safe for concurrent use by one or more processes sharing the
+// directory: entries are immutable once committed, commits are atomic
+// renames, and two writers racing on one key commit identical bytes (the
+// simulator is deterministic), so last-rename-wins is harmless.
+type Cache struct {
+	dir   string
+	fence string
+	fs    FS
+
+	seq atomic.Int64 // temp-file disambiguator within this process
+
+	hits, misses, corrupt, stale, evicted, putErrs, readErrs atomic.Int64
+}
+
+// Option configures Open.
+type Option func(*Cache)
+
+// WithFS substitutes the filesystem implementation (fault injection).
+func WithFS(f FS) Option { return func(c *Cache) { c.fs = f } }
+
+// WithFingerprint overrides the binary fingerprint half of the version
+// fence. Tests use it to simulate version skew; production callers should
+// let Fingerprint() be derived from the running binary.
+func WithFingerprint(fp string) Option { return func(c *Cache) { c.fence = fp } }
+
+// Open returns a Cache rooted at dir, creating the directory if needed.
+func Open(dir string, opts ...Option) (*Cache, error) {
+	c := &Cache{dir: dir, fence: Fingerprint(), fs: OSFS{}}
+	for _, o := range opts {
+		o(c)
+	}
+	if err := c.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: open %s: %w", dir, err)
+	}
+	return c, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Fence returns the active version fence (schema + binary fingerprint).
+func (c *Cache) Fence() string { return c.fence }
+
+// Fingerprint derives the binary half of the version fence from the running
+// executable: Go version, main module path/version, and VCS revision when
+// the build recorded one. Two processes built from the same source share a
+// fingerprint; a rebuild from different source (when VCS stamping is
+// available) does not. The fence is best-effort — builds without VCS
+// stamping (go test, go run) fall back to the module identity, so after a
+// model change in a dev tree, clear the cache (or rely on the golden-output
+// tests, which catch any drift).
+func Fingerprint() string {
+	parts := []string{Schema, runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		parts = append(parts, bi.Main.Path, bi.Main.Version, bi.Main.Sum)
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" || s.Key == "vcs.modified" {
+				parts = append(parts, s.Key+"="+s.Value)
+			}
+		}
+	}
+	sum := sha256.Sum256([]byte(strings.Join(parts, "\x00")))
+	return hex.EncodeToString(sum[:8])
+}
+
+// keyOK screens the cell key before it is used as a path component: CellKey
+// produces fixed-width lowercase hex, and anything else (a doctored file
+// name, a caller bug) must not escape the cache directory.
+func keyOK(key string) bool {
+	if len(key) != 32 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if (b < '0' || b > '9') && (b < 'a' || b > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// path returns the entry file for key: <dir>/<key[:2]>/<key>.json. The
+// two-character shard keeps directory listings bounded as caches grow.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the stored payload for key, or ok=false on a miss. Every
+// failure — absent entry, I/O error, unparseable envelope, checksum
+// mismatch, key mismatch, schema or fingerprint skew — is a miss; damaged
+// and stale entries are evicted so the rerun that recomputes them can
+// rewrite them cleanly.
+func (c *Cache) Get(key string) (payload []byte, ok bool) {
+	if !keyOK(key) {
+		c.misses.Add(1)
+		return nil, false
+	}
+	data, err := c.fs.ReadFile(c.path(key))
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.readErrs.Add(1)
+		}
+		c.misses.Add(1)
+		return nil, false
+	}
+	var e entry
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		c.corruptEvict(key)
+		return nil, false
+	}
+	if e.Schema != Schema || e.Fence != c.fence {
+		c.stale.Add(1)
+		c.misses.Add(1)
+		c.evict(key)
+		return nil, false
+	}
+	if e.Key != key || !sumOK(e) {
+		c.corruptEvict(key)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.Payload, true
+}
+
+func sumOK(e entry) bool {
+	sum := sha256.Sum256(e.Payload)
+	return e.Sum == hex.EncodeToString(sum[:])
+}
+
+// corruptEvict books one integrity failure: corrupt + miss, entry removed.
+func (c *Cache) corruptEvict(key string) {
+	c.corrupt.Add(1)
+	c.misses.Add(1)
+	c.evict(key)
+}
+
+// evict best-effort removes key's entry file.
+func (c *Cache) evict(key string) {
+	if c.fs.Remove(c.path(key)) == nil {
+		c.evicted.Add(1)
+	}
+}
+
+// Invalidate reclassifies key's last Get as corrupt and evicts the entry.
+// The runner calls it when the envelope verified but the payload failed to
+// decode into the cell's type — damage the envelope checksum cannot see
+// (e.g. an entry written under a colliding key by a buggy codec).
+func (c *Cache) Invalidate(key string) {
+	if !keyOK(key) {
+		return
+	}
+	c.hits.Add(-1)
+	c.corrupt.Add(1)
+	c.misses.Add(1)
+	c.evict(key)
+}
+
+// Put atomically commits payload as key's entry: marshal the checksummed
+// envelope, write it to a temp file in the entry's shard directory, and
+// rename it into place. On any error the entry is untouched, the temp file
+// is removed best-effort, and PutErrs is bumped — a failed Put never leaves
+// a partial entry for a later Get to trust.
+func (c *Cache) Put(key string, payload []byte) error {
+	if !keyOK(key) {
+		c.putErrs.Add(1)
+		return fmt.Errorf("diskcache: malformed key %q", key)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(entry{
+		Schema:  Schema,
+		Fence:   c.fence,
+		Key:     key,
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: json.RawMessage(payload),
+	})
+	if err != nil {
+		c.putErrs.Add(1)
+		return fmt.Errorf("diskcache: encode %s: %w", key, err)
+	}
+	dst := c.path(key)
+	if err := c.fs.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		c.putErrs.Add(1)
+		return fmt.Errorf("diskcache: put %s: %w", key, err)
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", dst, os.Getpid(), c.seq.Add(1))
+	if err := c.fs.WriteFile(tmp, data, 0o644); err != nil {
+		c.putErrs.Add(1)
+		c.fs.Remove(tmp)
+		return fmt.Errorf("diskcache: put %s: %w", key, err)
+	}
+	if err := c.fs.Rename(tmp, dst); err != nil {
+		c.putErrs.Add(1)
+		c.fs.Remove(tmp)
+		return fmt.Errorf("diskcache: commit %s: %w", key, err)
+	}
+	return nil
+}
+
+// Counters snapshots the degradation telemetry.
+func (c *Cache) Counters() Counters {
+	return Counters{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Corrupt:  c.corrupt.Load(),
+		Stale:    c.stale.Load(),
+		Evicted:  c.evicted.Load(),
+		PutErrs:  c.putErrs.Load(),
+		ReadErrs: c.readErrs.Load(),
+	}
+}
+
+// VerifyStats summarizes a Verify scan.
+type VerifyStats struct {
+	Checked int // entry files examined
+	Bad     int // entries that failed validation (and were removed)
+	Stale   int // of Bad, entries rejected only by the version fence
+}
+
+// Verify scans every entry under the cache root, validates each against the
+// schema, fence, key, and checksum, and removes the ones that fail — the
+// offline counterpart of Get's on-contact eviction, behind `o2kbench
+// -cache-verify`. Temp files from interrupted commits are removed too (they
+// were never entries). The scan itself is read-only on valid entries.
+func (c *Cache) Verify() (VerifyStats, error) {
+	var st VerifyStats
+	err := c.walk(func(path, key string, tmp bool) {
+		if tmp {
+			c.fs.Remove(path)
+			return
+		}
+		st.Checked++
+		data, err := c.fs.ReadFile(path)
+		if err != nil {
+			st.Bad++
+			c.fs.Remove(path)
+			return
+		}
+		var e entry
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		switch {
+		case dec.Decode(&e) != nil, e.Key != key, !sumOK(e):
+			st.Bad++
+			c.fs.Remove(path)
+		case e.Schema != Schema, e.Fence != c.fence:
+			st.Bad++
+			st.Stale++
+			c.fs.Remove(path)
+		}
+	})
+	return st, err
+}
+
+// Clear removes every entry (and stray temp file) under the cache root and
+// returns how many entry files were deleted.
+func (c *Cache) Clear() (int, error) {
+	removed := 0
+	err := c.walk(func(path, key string, tmp bool) {
+		if c.fs.Remove(path) == nil && !tmp {
+			removed++
+			c.evicted.Add(1)
+		}
+	})
+	return removed, err
+}
+
+// Len counts committed entries on disk.
+func (c *Cache) Len() (int, error) {
+	n := 0
+	err := c.walk(func(path, key string, tmp bool) {
+		if !tmp {
+			n++
+		}
+	})
+	return n, err
+}
+
+// walk visits every file under the cache's shard directories, reporting its
+// path, the key its name claims, and whether it is an uncommitted temp file.
+func (c *Cache) walk(visit func(path, key string, tmp bool)) error {
+	shards, err := c.fs.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("diskcache: scan %s: %w", c.dir, err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		files, err := c.fs.ReadDir(filepath.Join(c.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			name := f.Name()
+			path := filepath.Join(c.dir, sh.Name(), name)
+			key, isEntry := strings.CutSuffix(name, ".json")
+			if isEntry && keyOK(key) {
+				visit(path, key, false)
+			} else {
+				visit(path, "", true)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,350 @@
+package diskcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// key returns a syntactically valid cell key (32 lowercase hex chars)
+// derived from s.
+func key(s string) string {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return fmt.Sprintf("%032x", h)
+}
+
+func open(t *testing.T, opts ...Option) *Cache {
+	t.Helper()
+	c, err := Open(t.TempDir(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// entryFile locates the single committed entry for k in c's directory.
+func entryFile(t *testing.T, c *Cache, k string) string {
+	t.Helper()
+	p := filepath.Join(c.Dir(), k[:2], k+".json")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry for %s not on disk: %v", k, err)
+	}
+	return p
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	c := open(t)
+	k := key("cell-a")
+	payload := []byte(`{"val":{"Total":42}}`)
+	if err := c.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v; want stored payload", got, ok)
+	}
+	if cn := c.Counters(); cn.Hits != 1 || cn.Misses != 0 {
+		t.Fatalf("counters = %+v, want one hit", cn)
+	}
+	// A second cache over the same dir (same fence) also hits.
+	c2, err := Open(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(k); !ok {
+		t.Fatal("fresh cache over same dir missed a committed entry")
+	}
+}
+
+func TestMissOnAbsent(t *testing.T) {
+	c := open(t)
+	if _, ok := c.Get(key("never-stored")); ok {
+		t.Fatal("hit on absent key")
+	}
+	if cn := c.Counters(); cn.Misses != 1 || cn.Corrupt != 0 || cn.ReadErrs != 0 {
+		t.Fatalf("counters = %+v, want one clean miss", cn)
+	}
+}
+
+func TestMalformedKeyRejected(t *testing.T) {
+	c := open(t)
+	for _, bad := range []string{"", "short", strings.Repeat("g", 32), "../../../../etc/passwd0000000000"} {
+		if err := c.Put(bad, []byte("x")); err == nil {
+			t.Fatalf("Put accepted malformed key %q", bad)
+		}
+		if _, ok := c.Get(bad); ok {
+			t.Fatalf("Get accepted malformed key %q", bad)
+		}
+	}
+}
+
+// corruptionCases mutates a committed entry in various ways; every variant
+// must read as a miss, count as corrupt, and be evicted.
+func TestCorruptEntriesRecompute(t *testing.T) {
+	cases := []struct {
+		name   string
+		damage func(path string) error
+	}{
+		{"bit-flip", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			data[len(data)/2] ^= 0x40
+			return os.WriteFile(p, data, 0o644)
+		}},
+		{"truncated", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, data[:len(data)/3], 0o644)
+		}},
+		{"empty", func(p string) error { return os.WriteFile(p, nil, 0o644) }},
+		{"garbage", func(p string) error { return os.WriteFile(p, []byte("not json at all"), 0o644) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := open(t)
+			k := key("victim-" + tc.name)
+			if err := c.Put(k, []byte(`{"val":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			p := entryFile(t, c, k)
+			if err := tc.damage(p); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get(k); ok {
+				t.Fatal("damaged entry served as a hit")
+			}
+			cn := c.Counters()
+			if cn.Corrupt != 1 || cn.Misses != 1 || cn.Evicted != 1 {
+				t.Fatalf("counters = %+v, want corrupt=miss=evicted=1", cn)
+			}
+			if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+				t.Fatal("damaged entry not evicted")
+			}
+		})
+	}
+}
+
+func TestMisfiledEntryIsCorrupt(t *testing.T) {
+	c := open(t)
+	ka, kb := key("cell-a"), key("cell-b")
+	if ka == kb {
+		t.Fatal("test keys collide")
+	}
+	if err := c.Put(ka, []byte(`{"val":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	src := entryFile(t, c, ka)
+	dst := filepath.Join(c.Dir(), kb[:2], kb+".json")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(kb); ok {
+		t.Fatal("entry claiming another key was trusted")
+	}
+	if cn := c.Counters(); cn.Corrupt != 1 {
+		t.Fatalf("counters = %+v, want corrupt=1", cn)
+	}
+}
+
+func TestVersionSkewEvicts(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Open(dir, WithFingerprint("build-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("cell-a")
+	if err := c1.Put(k, []byte(`{"val":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, WithFingerprint("build-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(k); ok {
+		t.Fatal("entry from another binary fingerprint was trusted")
+	}
+	cn := c2.Counters()
+	if cn.Stale != 1 || cn.Misses != 1 || cn.Evicted != 1 || cn.Corrupt != 0 {
+		t.Fatalf("counters = %+v, want stale=miss=evicted=1", cn)
+	}
+	if n, _ := c2.Len(); n != 0 {
+		t.Fatalf("stale entry still on disk (%d entries)", n)
+	}
+}
+
+func TestFaultInjectionReads(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	c := open(t, WithFS(ffs))
+	k := key("cell-a")
+	if err := c.Put(k, []byte(`{"val":1}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.FailReads(errors.New("injected EIO"))
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit through a failing read")
+	}
+	if cn := c.Counters(); cn.ReadErrs != 1 || cn.Misses != 1 {
+		t.Fatalf("counters = %+v, want read_errs=misses=1", cn)
+	}
+
+	ffs.FailReads(nil)
+	ffs.FlipBitOnRead(1 << 20) // clamps to the last byte: a structural brace
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on a bit-rotted read")
+	}
+	if cn := c.Counters(); cn.Corrupt != 1 {
+		t.Fatalf("counters = %+v, want corrupt=1 after bit flip", cn)
+	}
+
+	// Bit rot is detected on read, and the eviction removed the (actually
+	// intact) file; a re-Put recovers.
+	ffs.FlipBitOnRead(-1)
+	if err := c.Put(k, []byte(`{"val":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("cache did not recover after fault cleared")
+	}
+}
+
+func TestFaultInjectionWrites(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	c := open(t, WithFS(ffs))
+	k := key("cell-a")
+
+	ffs.FailWrites(errors.New("injected ENOSPC"))
+	if err := c.Put(k, []byte(`{"val":1}`)); err == nil {
+		t.Fatal("Put succeeded through a failing write")
+	}
+	if cn := c.Counters(); cn.PutErrs != 1 {
+		t.Fatalf("counters = %+v, want put_errs=1", cn)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry exists after failed write")
+	}
+
+	// Torn write: only a prefix reaches the disk. The commit itself
+	// succeeds, but the entry must fail validation on read.
+	ffs.FailWrites(nil)
+	ffs.TruncateWritesAt(30)
+	if err := c.Put(k, []byte(`{"val":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.TruncateWritesAt(-1)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("torn entry served as a hit")
+	}
+	if cn := c.Counters(); cn.Corrupt != 1 {
+		t.Fatalf("counters = %+v, want corrupt=1 after torn write", cn)
+	}
+
+	// Failed rename: temp file written, never committed, removed.
+	ffs.FailRenames(errors.New("injected EXDEV"))
+	if err := c.Put(k, []byte(`{"val":1}`)); err == nil {
+		t.Fatal("Put succeeded through a failing rename")
+	}
+	ffs.FailRenames(nil)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry exists after failed rename")
+	}
+	ents, err := os.ReadDir(filepath.Join(c.Dir(), k[:2]))
+	if err == nil {
+		for _, e := range ents {
+			if strings.Contains(e.Name(), ".tmp.") {
+				t.Fatalf("stray temp file %s after failed rename", e.Name())
+			}
+		}
+	}
+}
+
+func TestVerifyAndClear(t *testing.T) {
+	c := open(t)
+	keys := []string{key("a"), key("b"), key("c")}
+	for _, k := range keys {
+		if err := c.Put(k, []byte(`{"val":"`+k+`"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Damage one entry and plant a stray temp file.
+	p := entryFile(t, c, keys[1])
+	if err := os.WriteFile(p, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(c.Dir(), keys[0][:2], keys[0]+".json.tmp.1.1")
+	if err := os.WriteFile(tmp, []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checked != 3 || st.Bad != 1 || st.Stale != 0 {
+		t.Fatalf("verify = %+v, want checked=3 bad=1", st)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("verify left the stray temp file")
+	}
+	if n, _ := c.Len(); n != 2 {
+		t.Fatalf("after verify, %d entries, want 2", n)
+	}
+
+	removed, err := c.Clear()
+	if err != nil || removed != 2 {
+		t.Fatalf("clear = %d, %v; want 2 removed", removed, err)
+	}
+	if n, _ := c.Len(); n != 0 {
+		t.Fatalf("after clear, %d entries, want 0", n)
+	}
+	for _, k := range keys {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("key %s survived clear", k)
+		}
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	c := open(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				k := key(fmt.Sprintf("cell-%d", j%10))
+				payload := []byte(fmt.Sprintf(`{"val":%d}`, j%10))
+				if err := c.Put(k, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := c.Get(k); ok && string(got) != string(payload) {
+					t.Errorf("torn read: %q", got)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := Fingerprint(), Fingerprint()
+	if a != b || a == "" {
+		t.Fatalf("fingerprint not stable: %q vs %q", a, b)
+	}
+}

@@ -1,0 +1,32 @@
+package diskcache
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS is the slice of the filesystem the cache uses. It exists so the
+// fault-injection layer (FaultFS) can sit between the cache and the OS and
+// exercise every degradation path — I/O errors, torn writes, bit rot,
+// failed renames — deterministically in tests. The default implementation
+// is the real filesystem (OSFS).
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+// OSFS is the passthrough FS backed by the os package.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OSFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OSFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (OSFS) Rename(oldpath, newpath string) error     { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                 { return os.Remove(name) }
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }

@@ -56,6 +56,12 @@ func IsTransient(err error) bool {
 // cells render this, so the non-failed bytes of a table never depend on
 // which cells failed.
 func FailLabel(err error) string {
+	// A failure restored from the persistent cache replays its original
+	// rendering verbatim, keeping warm-run bytes identical to the cold run.
+	var ce *CachedError
+	if errors.As(err, &ce) {
+		return ce.Label
+	}
 	switch {
 	case err == nil:
 		return ""

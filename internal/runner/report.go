@@ -18,6 +18,7 @@ type CellStat struct {
 	Attempts int           `json:"attempts"`            // compute executions (1 unless retried)
 	Err      string        `json:"err,omitempty"`       // the cell's failure, empty on success
 	InFlight bool          `json:"in_flight,omitempty"` // still computing at snapshot time
+	FromDisk bool          `json:"from_disk,omitempty"` // served from the persistent cache
 }
 
 // Report is the engine's execution summary: how many cell requests the
@@ -32,6 +33,8 @@ type Report struct {
 	Dedups   int64         `json:"dedups"`
 	Failures int           `json:"failures"`     // completed cells that ended in error
 	CellWall time.Duration `json:"cell_wall_ns"` // summed compute time of all unique cells
+	DiskHits int64         `json:"disk_hits"`    // unique cells restored from the persistent cache
+	Disk     *DiskStats    `json:"disk,omitempty"` // persistent-cache telemetry, nil when memory-only
 	Cells    []CellStat    `json:"cells"`        // sorted by wall time, descending
 }
 
@@ -49,11 +52,17 @@ func (e *Engine) Report() *Report {
 	e.mu.Unlock()
 
 	r := &Report{Jobs: e.jobs, Unique: len(cells)}
+	if e.cache != nil {
+		r.Disk = diskStats(e.cache.Counters())
+	}
 	for _, c := range cells {
 		s := CellStat{Label: c.label, Key: c.key, Hits: c.hits.Load(), Dedups: c.dedup.Load()}
 		select {
 		case <-c.done:
-			s.Wall, s.Attempts = c.wall, c.attempts
+			s.Wall, s.Attempts, s.FromDisk = c.wall, c.attempts, c.fromDisk
+			if s.FromDisk {
+				r.DiskHits++
+			}
 			if c.err != nil {
 				s.Err = c.err.Error()
 				r.Failures++
@@ -95,6 +104,10 @@ func (r *Report) Table() *core.Table {
 		r.CellWall.Round(time.Millisecond).String(),
 		fmt.Sprintf("%d", r.Hits), fmt.Sprintf("%d", r.Dedups))
 	t.AddRow("cache hit rate", fmt.Sprintf("%.1f%%", 100*r.HitRate()), "", "")
+	if r.Disk != nil {
+		t.AddRow("disk cache", r.Disk.String(), "", "")
+		t.AddRow("cells from disk", fmt.Sprintf("%d", r.DiskHits), "", "")
+	}
 	if r.Failures > 0 {
 		t.AddRow("failed cells", fmt.Sprintf("%d", r.Failures), "", "")
 	}
@@ -105,6 +118,8 @@ func (r *Report) Table() *core.Table {
 			wall = "(in flight)"
 		case c.Err != "":
 			wall = fmt.Sprintf("%s FAILED(%s)", wall, c.Err)
+		case c.FromDisk:
+			wall += " (disk)"
 		}
 		t.AddRow(c.Label, wall, fmt.Sprintf("%d", c.Hits), fmt.Sprintf("%d", c.Dedups))
 	}

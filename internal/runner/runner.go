@@ -38,6 +38,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"o2k/internal/runner/diskcache"
 )
 
 // Policy is the engine's fault-tolerance configuration. The zero value means
@@ -78,6 +80,8 @@ type Engine struct {
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 
+	cache *diskcache.Cache // persistent cell cache, nil when memory-only
+
 	mu    sync.Mutex
 	cells map[string]*cell
 	order []*cell // insertion order, for stable reports
@@ -95,6 +99,7 @@ type cell struct {
 	err      error
 	wall     time.Duration // compute wall time across all attempts
 	attempts int           // times compute actually ran
+	fromDisk bool          // outcome restored from the persistent cache
 	hits     atomic.Int64  // requests served after completion
 	dedup    atomic.Int64  // requests that waited on the in-flight run
 }
@@ -155,6 +160,17 @@ func (e *Engine) Cancel(cause error) { e.cancel(cause) }
 // cells *before* calling Do and capture their results in the closure, as
 // the typed helpers in cells.go do with their plan cells.
 func (e *Engine) Do(key, label string, compute func(ctx context.Context) (any, error)) (any, error) {
+	return e.DoCached(key, label, nil, compute)
+}
+
+// DoCached is Do for cells that also persist across processes: when the
+// engine has a cache (SetCache) and codec is non-nil, the owner consults
+// the disk before computing and writes the outcome back after. Disk is
+// strictly a third tier behind the in-memory map and the single-flight
+// slot — a warm entry costs one read, and every disk failure (absent,
+// unreadable, corrupt, stale) silently falls through to compute, so cached
+// and uncached runs are byte-identical by construction.
+func (e *Engine) DoCached(key, label string, codec *Codec, compute func(ctx context.Context) (any, error)) (any, error) {
 	e.mu.Lock()
 	if c, ok := e.cells[key]; ok {
 		e.mu.Unlock()
@@ -180,7 +196,12 @@ func (e *Engine) Do(key, label string, compute func(ctx context.Context) (any, e
 	// timeout, cancellation — the cell's outcome is published and done is
 	// closed, so no requester can block forever on this key.
 	start := time.Now()
-	c.val, c.err, c.attempts = e.run(label, compute)
+	if v, cerr, ok := e.diskLoad(key, codec); ok {
+		c.val, c.err, c.fromDisk = v, cerr, true
+	} else {
+		c.val, c.err, c.attempts = e.run(label, compute)
+		e.diskStore(key, codec, c.val, c.err)
+	}
 	c.wall = time.Since(start)
 	close(c.done)
 	return c.val, c.err

@@ -23,20 +23,35 @@ root=$(cd "$(dirname "$0")/.." && pwd)
 cd "$root"
 
 tmp=$(mktemp -d)
+cleaned=0
 cleanup() {
+    [[ $cleaned -eq 1 ]] && return
+    cleaned=1
     if [[ -n "$baseline" ]]; then
         git worktree remove --force "$tmp/baseline" 2>/dev/null || true
+        git worktree prune 2>/dev/null || true
     fi
     rm -rf "$tmp"
 }
+# EXIT alone is not enough: bash does not run the EXIT trap when killed by
+# an unhandled SIGINT/SIGTERM, which used to leave the temp dir and a stale
+# `git worktree` registration behind on Ctrl-C.
 trap cleanup EXIT
+trap 'cleanup; trap - INT; kill -INT $$' INT
+trap 'cleanup; exit 143' TERM
 
 echo "building current o2kbench..." >&2
-go build -o "$tmp/o2kbench" ./cmd/o2kbench
+if ! go build -o "$tmp/o2kbench" ./cmd/o2kbench; then
+    echo "bench.sh: build of current tree failed" >&2
+    exit 1
+fi
 if [[ -n "$baseline" ]]; then
     echo "building baseline o2kbench at $baseline..." >&2
     git worktree add --detach --quiet "$tmp/baseline" "$baseline"
-    (cd "$tmp/baseline" && go build -o "$tmp/o2kbench-baseline" ./cmd/o2kbench)
+    if ! (cd "$tmp/baseline" && go build -o "$tmp/o2kbench-baseline" ./cmd/o2kbench); then
+        echo "bench.sh: build of baseline $baseline failed" >&2
+        exit 1
+    fi
 fi
 
 time_once() { # binary -> seconds on stdout
