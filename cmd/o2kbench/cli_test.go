@@ -1,0 +1,183 @@
+package main
+
+// CLI-level subprocess tests: each case re-executes this test binary in
+// "main mode" (see TestMain) so flag parsing, exit codes, and artifact
+// files are exercised exactly as a shell user sees them — the same idiom
+// as the experiments package's SIGKILL-resume test.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"o2k/internal/obs"
+)
+
+// mainArgsEnv switches the re-executed test binary into CLI mode.
+const mainArgsEnv = "O2K_MAIN_ARGS"
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv(mainArgsEnv); args != "" {
+		os.Args = append([]string{"o2kbench"}, strings.Fields(args)...)
+		os.Exit(run())
+	}
+	os.Exit(m.Run())
+}
+
+// o2kbench runs the CLI with args (whitespace-separated; paths must not
+// contain spaces) and returns stdout, stderr, and the exit code.
+func o2kbench(t *testing.T, args string) (stdout, stderr string, code int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), mainArgsEnv+"="+args)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err = cmd.Run()
+	switch e := err.(type) {
+	case nil:
+	case *exec.ExitError:
+		code = e.ExitCode()
+	default:
+		t.Fatalf("running %q: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestCLICacheMaintenanceExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+
+	if _, stderr, code := o2kbench(t, "-cache-verify"); code != 2 {
+		t.Fatalf("-cache-verify without -cache exited %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if _, stderr, code := o2kbench(t, "-cache-clear"); code != 2 {
+		t.Fatalf("-cache-clear without -cache exited %d, want 2 (stderr: %s)", code, stderr)
+	}
+
+	// Warm the cache with a real (quick) run, then verify it clean.
+	if _, stderr, code := o2kbench(t, "-quick -procs 1,2 -exp mesh-speedup -cache "+dir); code != 0 {
+		t.Fatalf("cache-warm run exited %d (stderr: %s)", code, stderr)
+	}
+	if _, stderr, code := o2kbench(t, "-cache "+dir+" -cache-verify"); code != 0 {
+		t.Fatalf("verify of a clean cache exited %d (stderr: %s)", code, stderr)
+	}
+
+	// Damage one committed entry: verify reports it once (exit 1), evicts
+	// it, and a second verify is clean again.
+	var victim string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && victim == "" && filepath.Ext(path) == ".json" {
+			victim = path
+		}
+		return nil
+	})
+	if victim == "" {
+		t.Fatal("warm run left no cache entries")
+	}
+	if err := os.WriteFile(victim, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr, code := o2kbench(t, "-cache "+dir+" -cache-verify"); code != 1 {
+		t.Fatalf("verify of a damaged cache exited %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if _, stderr, code := o2kbench(t, "-cache "+dir+" -cache-verify"); code != 0 {
+		t.Fatalf("verify did not evict the damaged entry: exited %d (stderr: %s)", code, stderr)
+	}
+
+	if _, stderr, code := o2kbench(t, "-cache "+dir+" -cache-clear"); code != 0 {
+		t.Fatalf("clear exited %d (stderr: %s)", code, stderr)
+	}
+	if _, stderr, code := o2kbench(t, "-cache "+dir+" -cache-verify"); code != 0 {
+		t.Fatalf("verify after clear exited %d (stderr: %s)", code, stderr)
+	}
+}
+
+// checkTraceFile validates a -trace artifact and its track shape: at least
+// one simulated timeline with minProcs threads, plus host-side cell spans.
+func checkTraceFile(t *testing.T, path string, minProcs int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := obs.ValidateChrome(data)
+	if err != nil {
+		t.Fatalf("%s failed Chrome schema validation: %v", path, err)
+	}
+	pids := tr.Pids()
+	if len(pids) < 2 || pids[0] != 0 {
+		t.Fatalf("%s has pids %v, want the host (0) plus >= 1 timeline", path, pids)
+	}
+	for _, pid := range pids[1:] {
+		if threads := tr.Threads(pid); len(threads) < minProcs {
+			t.Errorf("%s pid %d: %d threads, want >= %d (one per proc)", path, pid, len(threads), minProcs)
+		}
+	}
+	if len(tr.Spans(0)) == 0 {
+		t.Errorf("%s has no runner-cell spans on the host track", path)
+	}
+}
+
+func TestCLITraceMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := filepath.Join(t.TempDir(), "mesh.json")
+	_, stderr, code := o2kbench(t, "-quick -procs 1,4 -exp mesh-speedup -trace "+out+" -trace-exp mesh")
+	if code != 0 {
+		t.Fatalf("trace run exited %d (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "wrote trace") {
+		t.Fatalf("no trace confirmation on stderr: %s", stderr)
+	}
+	checkTraceFile(t, out, 4)
+}
+
+func TestCLITraceNBody(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "nbody.json")
+	report := filepath.Join(dir, "report.json")
+	_, stderr, code := o2kbench(t,
+		"-quick -procs 1,4 -exp nbody-speedup -trace "+out+" -trace-exp nbody/mp -runreport-json "+report)
+	if code != 0 {
+		t.Fatalf("trace run exited %d (stderr: %s)", code, stderr)
+	}
+	checkTraceFile(t, out, 4)
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"cells"`, `"phases"`, `"imbalance"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("-runreport-json output lacks %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestCLIBadTraceTargetFailsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	stdout, stderr, code := o2kbench(t, "-quick -trace-ascii -trace-exp stencil")
+	if code != 2 {
+		t.Fatalf("bad -trace-exp exited %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("bad -trace-exp still produced experiment output:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "unknown trace target") {
+		t.Fatalf("stderr does not explain the rejection: %s", stderr)
+	}
+}

@@ -5,7 +5,22 @@
 //	o2kbench [-exp name] [-quick] [-procs 1,2,4,8,16,32,64] [-format text|json]
 //	         [-jobs N] [-timeout d] [-cellretries N] [-runreport] [-list]
 //	         [-cache dir] [-cache-verify] [-cache-clear]
-//	         [-cpuprofile f] [-memprofile f]
+//	         [-trace f] [-trace-exp name] [-trace-ascii] [-phasereport]
+//	         [-runreport-json f] [-cpuprofile f] [-memprofile f]
+//
+// The trace flags are the observability subsystem (DESIGN.md §5.6): they
+// re-run one application cell with phase-timeline recording enabled —
+// -trace-exp selects it ("mesh", "nbody", or narrowed like "mesh/mp") at
+// the largest -procs count — and render it as Chrome trace-event JSON
+// (-trace FILE, loadable in Perfetto), a terminal Gantt chart
+// (-trace-ascii), or a per-phase min/max/mean/imbalance table
+// (-phasereport, stderr). The trace file also carries host-side tracks of
+// this invocation's cell lifecycle (compute / memo-hit / disk-hit / retry
+// spans from the engine's event hook). Because tracing is a deliberate
+// re-simulation outside the memoized engine, stdout of the experiment
+// tables is byte-identical whether or not any trace flag is given.
+// -runreport-json FILE writes the -runreport data (plus phase aggregates
+// when tracing ran) as JSON for bench tooling.
 //
 // -cache DIR attaches a persistent, crash-safe cell cache (DESIGN.md §5.5):
 // completed metrics cells are stored content-addressed under DIR and served
@@ -52,8 +67,10 @@ import (
 
 	"o2k/internal/core"
 	"o2k/internal/experiments"
+	"o2k/internal/obs"
 	"o2k/internal/runner"
 	"o2k/internal/runner/diskcache"
+	"o2k/internal/sim"
 )
 
 // listTable renders the experiment index from the registry.
@@ -113,6 +130,44 @@ func cacheMaintenance(dir string, clear, verify bool) int {
 	return 0
 }
 
+// writeTrace assembles the Chrome trace file: one virtual-time process per
+// traced model run plus the host-side runner track of this invocation.
+func writeTrace(path string, traced []experiments.TracedRun, col *obs.Collector) error {
+	b := obs.NewBuilder()
+	for _, tr := range traced {
+		b.AddTimeline(tr.Label, tr.Group)
+	}
+	b.AddRunnerTrack(col.Events())
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "o2kbench: wrote trace %s (%d timeline(s), %d runner events)\n",
+		path, len(traced), col.Len())
+	return nil
+}
+
+// writeRunReportJSON emits the engine report — and the phase aggregates,
+// when a traced run produced them — as one machine-readable document.
+func writeRunReportJSON(path string, report *runner.Report, phases []obs.RunPhases) error {
+	doc := struct {
+		*runner.Report
+		Phases []obs.RunPhases `json:"phases,omitempty"`
+	}{report, phases}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // main delegates to run so that deferred profile writers fire before the
 // process exits (os.Exit would skip them).
 func main() {
@@ -132,6 +187,11 @@ func run() int {
 	cacheVerify := flag.Bool("cache-verify", false, "with -cache: validate every entry, evict bad ones, and exit (1 if any were bad)")
 	cacheClear := flag.Bool("cache-clear", false, "with -cache: remove every entry and exit")
 	list := flag.Bool("list", false, "list every experiment name, its aliases, and its description")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
+	traceExp := flag.String("trace-exp", "mesh", "what the trace flags re-run with tracing on: mesh[/MODEL] or nbody[/MODEL]")
+	traceASCII := flag.Bool("trace-ascii", false, "print the traced run's phase timeline as a text Gantt chart")
+	phaseReport := flag.Bool("phasereport", false, "print per-phase min/max/mean/imbalance of the traced run to stderr")
+	runreportJSON := flag.String("runreport-json", "", "write the run report (cells, disk cache, phase aggregates) as JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
 	flag.Parse()
@@ -197,6 +257,17 @@ func run() int {
 		return cacheMaintenance(*cacheDir, *cacheClear, *cacheVerify)
 	}
 
+	// Tracing (DESIGN.md §5.6) re-runs one cell with phase recording on, so
+	// the memoized/cached path — and the bytes it produces — stay untouched.
+	// Validate the target before paying for the experiment suite.
+	tracing := *traceFile != "" || *traceASCII || *phaseReport
+	if tracing {
+		if err := experiments.CheckTraceTarget(*traceExp); err != nil {
+			fmt.Fprintln(os.Stderr, "o2kbench:", err)
+			return 2
+		}
+	}
+
 	// SIGINT/SIGTERM cancel the engine: blocked cell requesters unblock with
 	// FAILED(cancelled) entries and the run drains instead of being killed
 	// mid-write.
@@ -214,6 +285,13 @@ func run() int {
 		} else {
 			eng.SetCache(dc)
 		}
+	}
+	var collector *obs.Collector
+	if *traceFile != "" {
+		// The trace file carries host-side tracks of this run's cell
+		// lifecycle alongside the simulated timelines.
+		collector = &obs.Collector{}
+		eng.SetHook(collector.Hook())
 	}
 	tables, err := experiments.RunOn(eng, *exp, o)
 	if err != nil {
@@ -241,6 +319,39 @@ func run() int {
 	}
 
 	report := eng.Report()
+	var phases []obs.RunPhases
+	if tracing {
+		traced, terr := experiments.Trace(*traceExp, o)
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "o2kbench:", terr)
+			return 2
+		}
+		phases = make([]obs.RunPhases, len(traced))
+		for i, tr := range traced {
+			phases[i] = obs.NewRunPhases(tr.Label, tr.Group)
+		}
+		if *traceASCII {
+			for _, tr := range traced {
+				fmt.Printf("=== %s ===\n", tr.Label)
+				fmt.Print(sim.RenderTimeline(tr.Group, 100))
+			}
+		}
+		if *phaseReport {
+			fmt.Fprint(os.Stderr, "\n"+obs.PhaseTable(phases).String())
+		}
+		if *traceFile != "" {
+			if err := writeTrace(*traceFile, traced, collector); err != nil {
+				fmt.Fprintln(os.Stderr, "o2kbench:", err)
+				return 1
+			}
+		}
+	}
+	if *runreportJSON != "" {
+		if err := writeRunReportJSON(*runreportJSON, report, phases); err != nil {
+			fmt.Fprintln(os.Stderr, "o2kbench:", err)
+			return 1
+		}
+	}
 	if *runreport {
 		if *format == "json" {
 			enc := json.NewEncoder(os.Stderr)

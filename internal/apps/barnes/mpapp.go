@@ -19,9 +19,8 @@ type mpState struct {
 	x, y, vx, vy, m *numa.Array[float64]
 }
 
-func runMP(mach *machine.Machine, w Workload, plans []*StepPlan) core.Metrics {
+func runMP(mach *machine.Machine, w Workload, plans []*StepPlan, g *sim.Group) core.Metrics {
 	nprocs := mach.Procs()
-	g := sim.NewGroup(nprocs)
 	world := mp.NewWorld(mach)
 	sp := numa.NewSpace(mach)
 	b0 := nbody.NewPlummer(w.N, w.Seed)

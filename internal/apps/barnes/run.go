@@ -22,13 +22,30 @@ func Run(model core.Model, mach *machine.Machine, w Workload) core.Metrics {
 
 // RunWithPlans is Run with precomputed step plans (shareable across models).
 func RunWithPlans(model core.Model, mach *machine.Machine, w Workload, plans []*StepPlan) core.Metrics {
+	met, _ := runModel(model, mach, w, plans, false)
+	return met
+}
+
+// TraceRun executes the workload like RunWithPlans but with phase-timeline
+// tracing enabled, returning the processor group for sim.RenderTimeline or
+// the obs exporters.
+func TraceRun(model core.Model, mach *machine.Machine, w Workload, plans []*StepPlan) *sim.Group {
+	_, g := runModel(model, mach, w, plans, true)
+	return g
+}
+
+func runModel(model core.Model, mach *machine.Machine, w Workload, plans []*StepPlan, trace bool) (core.Metrics, *sim.Group) {
+	g := sim.NewGroup(mach.Procs())
+	if trace {
+		g.EnableTrace()
+	}
 	switch model {
 	case core.MP:
-		return runMP(mach, w, plans)
+		return runMP(mach, w, plans, g), g
 	case core.SHMEM:
-		return runSHMEM(mach, w, plans)
+		return runSHMEM(mach, w, plans, g), g
 	case core.SAS:
-		return runSAS(mach, w, plans)
+		return runSAS(mach, w, plans, g), g
 	}
 	panic("barnes: unknown model")
 }

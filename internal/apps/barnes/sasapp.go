@@ -20,9 +20,7 @@ type sasState struct {
 	x, y, vx, vy, m *numa.Array[float64]
 }
 
-func runSAS(mach *machine.Machine, w Workload, plans []*StepPlan) core.Metrics {
-	nprocs := mach.Procs()
-	g := sim.NewGroup(nprocs)
+func runSAS(mach *machine.Machine, w Workload, plans []*StepPlan, g *sim.Group) core.Metrics {
 	sp := numa.NewSpace(mach)
 	world := sas.NewWorld(mach, sp)
 

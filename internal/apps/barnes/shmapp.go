@@ -18,9 +18,7 @@ type shmState struct {
 	x, y, vx, vy, m *shm.Sym[float64]
 }
 
-func runSHMEM(mach *machine.Machine, w Workload, plans []*StepPlan) core.Metrics {
-	nprocs := mach.Procs()
-	g := sim.NewGroup(nprocs)
+func runSHMEM(mach *machine.Machine, w Workload, plans []*StepPlan, g *sim.Group) core.Metrics {
 	sp := numa.NewSpace(mach)
 	world := shm.NewWorld(mach, sp)
 	b0 := nbody.NewPlummer(w.N, w.Seed)

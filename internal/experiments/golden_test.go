@@ -17,7 +17,7 @@ import (
 // constant to the hash printed in the failure message. Note that Table 5
 // measures this repository's own model-runtime sources (internal/mp, shm,
 // sas), so edits to those files legitimately change the bytes too.
-const goldenQuickSHA256 = "d07f5e99b9605042b6a9cb8abe2b230dc9f361b9fe92f318ae7f2cd86a488109"
+const goldenQuickSHA256 = "d3fab8f492fa3e5b1dd2b7ff2db261a124eca64cd4e4d198d1eaab2606abf371"
 
 func TestGoldenQuickOutput(t *testing.T) {
 	if testing.Short() {

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"o2k/internal/apps/adaptmesh"
+	"o2k/internal/apps/barnes"
+	"o2k/internal/core"
+	"o2k/internal/machine"
+	"o2k/internal/sim"
+)
+
+// Phase-timeline tracing (the -trace / -trace-ascii / -phasereport path).
+// A traced run is a deliberate re-simulation outside the cell engine:
+// EnableTrace changes the host-side cost of a run and keeps live Group
+// state, neither of which belongs in the memoized/cached path whose outputs
+// are byte-identity-guarded. Exactly one plan set and one group per traced
+// model is paid, so tracing costs O(one cell) however large the experiment
+// suite that ran before it.
+
+// TracedRun couples one phase-traced application run with its display
+// label ("mesh MP P=8").
+type TracedRun struct {
+	Label string
+	Group *sim.Group
+}
+
+// traceTarget is a parsed -trace-exp argument: an application, optionally
+// narrowed to one model.
+type traceTarget struct {
+	app    string // "mesh" or "nbody"
+	models []core.Model
+}
+
+// parseTraceTarget resolves "app" or "app/model" (case-insensitive; model
+// accepts the paper names mp, shmem, and sas/cc-sas).
+func parseTraceTarget(name string) (traceTarget, error) {
+	tg := traceTarget{models: core.AllModels()}
+	app, modelSel, narrowed := strings.Cut(strings.ToLower(name), "/")
+	tg.app = app
+	if app != "mesh" && app != "nbody" {
+		return tg, fmt.Errorf("unknown trace target %q (want mesh[/MODEL] or nbody[/MODEL])", name)
+	}
+	if narrowed {
+		switch modelSel {
+		case "mp":
+			tg.models = []core.Model{core.MP}
+		case "shmem":
+			tg.models = []core.Model{core.SHMEM}
+		case "sas", "cc-sas", "ccsas":
+			tg.models = []core.Model{core.SAS}
+		default:
+			return tg, fmt.Errorf("unknown trace model %q (want mp, shmem, or sas)", modelSel)
+		}
+	}
+	return tg, nil
+}
+
+// CheckTraceTarget validates a -trace-exp argument without running
+// anything, so a typo fails fast instead of after the experiment suite.
+func CheckTraceTarget(name string) error {
+	_, err := parseTraceTarget(name)
+	return err
+}
+
+// Trace re-runs the named application with phase-timeline tracing enabled
+// at the largest processor count of o and returns one traced group per
+// selected model, in core.AllModels order. name is "mesh" or "nbody",
+// optionally narrowed as e.g. "mesh/mp".
+func Trace(name string, o Opts) ([]TracedRun, error) {
+	tg, err := parseTraceTarget(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(o.Procs) == 0 {
+		return nil, fmt.Errorf("trace %s: no processor counts configured", name)
+	}
+	procs := o.Procs[len(o.Procs)-1]
+	mach, err := machine.New(machine.Default(procs))
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %w", name, err)
+	}
+	var runs []TracedRun
+	switch tg.app {
+	case "mesh":
+		plans := adaptmesh.BuildPlans(o.MeshW, procs)
+		for _, m := range tg.models {
+			runs = append(runs, TracedRun{
+				Label: fmt.Sprintf("mesh %v P=%d", m, procs),
+				Group: adaptmesh.TraceRun(m, mach, o.MeshW, plans),
+			})
+		}
+	case "nbody":
+		plans := barnes.BuildPlans(o.NBodyW, procs)
+		for _, m := range tg.models {
+			runs = append(runs, TracedRun{
+				Label: fmt.Sprintf("n-body %v P=%d", m, procs),
+				Group: barnes.TraceRun(m, mach, o.NBodyW, plans),
+			})
+		}
+	}
+	return runs, nil
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"o2k/internal/sim"
+)
+
+// ChromeEvent is one entry of a Chrome trace-event file. Only the event
+// phases the Builder emits are modeled — complete spans ("X"), instants
+// ("i"), and metadata ("M") — but ValidateChrome accepts the full phase
+// alphabet so foreign traces can be checked too.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`            // microseconds since trace start
+	Dur   float64        `json:"dur,omitempty"` // microseconds, "X" events only
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope: g, p, or t
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object form of a trace file.
+type ChromeTrace struct {
+	Events          []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// hostPid is the reserved Chrome process id for host-side (wall-time)
+// tracks; simulated timelines are numbered from 1.
+const hostPid = 0
+
+// Builder accumulates timeline and host tracks and serializes them as one
+// Chrome trace-event file. Not safe for concurrent use; build after the
+// runs have completed.
+type Builder struct {
+	events  []ChromeEvent
+	nextPid int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{nextPid: hostPid + 1} }
+
+// virtualUS converts simulated nanoseconds to trace microseconds.
+func virtualUS(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// meta appends a metadata event (process_name / thread_name).
+func (b *Builder) meta(pid, tid int, kind, name string) {
+	b.events = append(b.events, ChromeEvent{
+		Name: kind, Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// AddTimeline adds one traced group as a Chrome process named name: one
+// thread per simulated processor, one complete event per phase segment, on
+// the virtual-time axis. The group must have been run with EnableTrace
+// (TraceRun does this); an untraced group contributes only empty threads.
+// It returns the pid assigned to the timeline.
+func (b *Builder) AddTimeline(name string, g *sim.Group) int {
+	pid := b.nextPid
+	b.nextPid++
+	b.meta(pid, 0, "process_name", name)
+	for i, segs := range g.Traces() {
+		b.meta(pid, i, "thread_name", fmt.Sprintf("proc %d", i))
+		for _, s := range segs {
+			b.events = append(b.events, ChromeEvent{
+				Name: s.Phase.String(),
+				Cat:  "phase",
+				Ph:   "X",
+				Ts:   virtualUS(s.Start),
+				Dur:  virtualUS(s.End - s.Start),
+				Pid:  pid,
+				Tid:  i,
+			})
+		}
+	}
+	return pid
+}
+
+// Trace returns the assembled trace object.
+func (b *Builder) Trace() *ChromeTrace {
+	return &ChromeTrace{Events: b.events, DisplayTimeUnit: "ms"}
+}
+
+// Write serializes the trace as indented JSON.
+func (b *Builder) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(b.Trace())
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"o2k/internal/sim"
+)
+
+// tracedGroup returns a two-proc group run with tracing on:
+//
+//	p0: compute [0,100) then sync [100,150)
+//	p1: compute [0,200)
+func tracedGroup() *sim.Group {
+	g := sim.NewGroup(2)
+	g.EnableTrace()
+	p0 := g.Proc(0)
+	p0.SetPhase(sim.PhaseCompute)
+	p0.Advance(100)
+	p0.SetPhase(sim.PhaseSync)
+	p0.Advance(50)
+	p1 := g.Proc(1)
+	p1.SetPhase(sim.PhaseCompute)
+	p1.Advance(200)
+	return g
+}
+
+func TestAddTimelineTrackShape(t *testing.T) {
+	b := NewBuilder()
+	pid := b.AddTimeline("fixture run", tracedGroup())
+	if pid != 1 {
+		t.Fatalf("first timeline pid = %d, want 1 (0 is reserved for the host)", pid)
+	}
+	tr := b.Trace()
+	if got := tr.Threads(pid); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("threads of pid %d = %v, want one per proc [0 1]", pid, got)
+	}
+	spans := tr.Spans(pid)
+	if len(spans) != 3 {
+		t.Fatalf("got %d phase spans, want 3: %+v", len(spans), spans)
+	}
+	// Virtual nanoseconds surface as trace microseconds (÷1e3).
+	s := spans[1] // p0's sync segment [100,150)
+	if s.Name != "sync" || s.Cat != "phase" || s.Ts != 0.1 || s.Dur != 0.05 {
+		t.Fatalf("sync span = %+v, want ts=0.1us dur=0.05us", s)
+	}
+}
+
+func TestTimelinePidsAreSequential(t *testing.T) {
+	b := NewBuilder()
+	p1 := b.AddTimeline("run one", tracedGroup())
+	p2 := b.AddTimeline("run two", tracedGroup())
+	if p1 != 1 || p2 != 2 {
+		t.Fatalf("pids = %d, %d; want 1, 2", p1, p2)
+	}
+}
+
+func TestWriteRoundTripsThroughValidate(t *testing.T) {
+	b := NewBuilder()
+	b.AddTimeline("fixture run", tracedGroup())
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("builder output failed validation: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", tr.DisplayTimeUnit)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Fatal("output is not in JSON-object trace form")
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	mk := func(ev ChromeEvent) []byte {
+		data, err := json.Marshal(ChromeTrace{Events: []ChromeEvent{ev}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"not json", []byte("}{")},
+		{"unknown field", []byte(`{"traceEvents":[],"bogus":1}`)},
+		{"no events", []byte(`{"traceEvents":[]}`)},
+		{"unknown phase", mk(ChromeEvent{Name: "x", Ph: "Z"})},
+		{"negative ts", mk(ChromeEvent{Name: "x", Ph: "X", Ts: -1})},
+		{"negative dur", mk(ChromeEvent{Name: "x", Ph: "X", Dur: -1})},
+		{"negative pid", mk(ChromeEvent{Name: "x", Ph: "X", Pid: -1})},
+		{"metadata without args", mk(ChromeEvent{Name: "process_name", Ph: "M"})},
+		{"bad instant scope", mk(ChromeEvent{Name: "x", Ph: "i", Scope: "q"})},
+		{"unnamed span", mk(ChromeEvent{Ph: "X"})},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateChrome(tc.data); err == nil {
+			t.Errorf("%s: validated, want error", tc.name)
+		}
+	}
+}
+
+func TestValidateChromeAcceptsForeignPhases(t *testing.T) {
+	// A counter event Chrome accepts but the Builder never emits.
+	data := []byte(`{"traceEvents":[{"name":"ctr","ph":"C","ts":1,"pid":0,"tid":0}]}`)
+	if _, err := ValidateChrome(data); err != nil {
+		t.Fatalf("foreign counter event rejected: %v", err)
+	}
+}
+
+func TestTraceQueryHelpers(t *testing.T) {
+	b := NewBuilder()
+	b.AddTimeline("one", tracedGroup())
+	b.AddTimeline("two", tracedGroup())
+	tr := b.Trace()
+	if got := tr.Pids(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("pids = %v, want [1 2]", got)
+	}
+	if all, one := tr.Spans(-1), tr.Spans(1); len(all) != 2*len(one) {
+		t.Fatalf("Spans(-1) = %d events, want twice Spans(1) = %d", len(all), len(one))
+	}
+}

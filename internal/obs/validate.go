@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// chromePhases is the trace-event phase alphabet accepted by Chrome's trace
+// importer: duration (B/E), complete (X), instant (i/I), counter (C), async
+// (b/n/e and legacy S/T/p/F), flow (s/t/f), sample (P), object (N/O/D),
+// metadata (M), memory dump (V/v), mark (R), and clock sync (c).
+var chromePhases = map[string]bool{
+	"B": true, "E": true, "X": true, "i": true, "I": true, "C": true,
+	"b": true, "n": true, "e": true, "S": true, "T": true, "p": true, "F": true,
+	"s": true, "t": true, "f": true, "P": true, "N": true, "O": true, "D": true,
+	"M": true, "V": true, "v": true, "R": true, "c": true,
+}
+
+// instantScopes are the legal values of an instant event's "s" field.
+var instantScopes = map[string]bool{"": true, "g": true, "p": true, "t": true}
+
+// ValidateChrome checks that data is a well-formed Chrome trace-event file
+// in JSON-object form and returns the decoded trace. Beyond parsing, it
+// enforces the schema rules the viewers rely on: a known event phase,
+// non-negative timestamps and durations, a name on every non-metadata
+// event, and a legal scope on instants. It is the assertion behind the
+// `-trace` acceptance test and is exported for downstream bench tooling.
+func ValidateChrome(data []byte) (*ChromeTrace, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var tr ChromeTrace
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("obs: trace does not parse: %w", err)
+	}
+	if len(tr.Events) == 0 {
+		return nil, errors.New("obs: trace has no events")
+	}
+	for i, ev := range tr.Events {
+		where := func(msg string, args ...any) error {
+			return fmt.Errorf("obs: event %d (%q): %s", i, ev.Name, fmt.Sprintf(msg, args...))
+		}
+		if !chromePhases[ev.Ph] {
+			return nil, where("unknown phase %q", ev.Ph)
+		}
+		if ev.Ts < 0 {
+			return nil, where("negative timestamp %v", ev.Ts)
+		}
+		if ev.Dur < 0 {
+			return nil, where("negative duration %v", ev.Dur)
+		}
+		if ev.Pid < 0 || ev.Tid < 0 {
+			return nil, where("negative pid/tid %d/%d", ev.Pid, ev.Tid)
+		}
+		switch ev.Ph {
+		case "M":
+			if len(ev.Args) == 0 {
+				return nil, where("metadata event without args")
+			}
+		case "i", "I":
+			if !instantScopes[ev.Scope] {
+				return nil, where("bad instant scope %q", ev.Scope)
+			}
+			fallthrough
+		default:
+			if ev.Name == "" {
+				return nil, where("event without a name")
+			}
+		}
+	}
+	return &tr, nil
+}
+
+// Spans returns the complete ("X") events of one process, or of every
+// process when pid < 0 — the query the track-shape assertions are built on.
+func (t *ChromeTrace) Spans(pid int) []ChromeEvent {
+	var out []ChromeEvent
+	for _, ev := range t.Events {
+		if ev.Ph == "X" && (pid < 0 || ev.Pid == pid) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Threads returns the distinct tids of a pid that carry at least one
+// non-metadata event.
+func (t *ChromeTrace) Threads(pid int) []int {
+	seen := map[int]bool{}
+	for _, ev := range t.Events {
+		if ev.Pid == pid && ev.Ph != "M" {
+			seen[ev.Tid] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for tid := range seen {
+		out = append(out, tid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Pids returns the distinct process ids of the trace, ascending.
+func (t *ChromeTrace) Pids() []int {
+	seen := map[int]bool{}
+	for _, ev := range t.Events {
+		seen[ev.Pid] = true
+	}
+	out := make([]int, 0, len(seen))
+	for pid := range seen {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,73 @@
+package runner
+
+import "time"
+
+// The engine's observability seam. The tracing subsystem (internal/obs)
+// subscribes to cell lifecycle events through a Hook; the dependency points
+// only one way — obs imports runner, never the reverse — so the engine stays
+// free of any exporter concern. With no hook attached the only cost on the
+// request path is one nil check per event site: time.Now is never called and
+// no Event is ever constructed.
+
+// EventKind classifies one cell lifecycle event.
+type EventKind uint8
+
+// The cell lifecycle events the engine reports.
+const (
+	// EventCompute is one compute attempt: a span from worker-slot
+	// acquisition to the attempt's outcome (including queue wait).
+	EventCompute EventKind = iota
+	// EventMemoHit is a request served from the in-memory cell map after
+	// the cell completed (instant).
+	EventMemoHit
+	// EventDedup is a request that waited on the in-flight owner of its
+	// cell: a span covering the wait.
+	EventDedup
+	// EventDiskHit is a cell restored from the persistent cache: a span
+	// covering the disk load.
+	EventDiskHit
+	// EventRetry marks a transient failure that the policy scheduled for
+	// another attempt (instant, fired before the backoff sleep).
+	EventRetry
+)
+
+var eventKindNames = [...]string{"compute", "memo-hit", "dedup", "disk-hit", "retry"}
+
+// String returns the kind's lowercase name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "event(?)"
+}
+
+// Event is one cell lifecycle event. Span kinds carry a start and duration
+// in host wall time; instant kinds carry only the start.
+type Event struct {
+	Kind    EventKind
+	Key     string // cell content hash (core.CellKey)
+	Label   string // human-readable cell description
+	Start   time.Time
+	Dur     time.Duration
+	Attempt int    // 1-based attempt number (compute and retry events)
+	Err     string // the outcome's failure message, "" on success
+}
+
+// Hook receives engine events. It is called synchronously from whatever
+// goroutine produced the event — request goroutines and compute owners alike
+// — so implementations must be safe for concurrent use and fast; anything
+// expensive belongs behind a buffer.
+type Hook func(Event)
+
+// SetHook attaches an event hook to the engine. Like SetCache it must be
+// called before the first Do; a nil hook (the default) keeps the engine
+// silent and adds zero overhead to the request path.
+func (e *Engine) SetHook(h Hook) { e.hook = h }
+
+// errMsg renders an outcome error for an Event.
+func errMsg(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

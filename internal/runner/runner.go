@@ -81,6 +81,7 @@ type Engine struct {
 	cancel context.CancelCauseFunc
 
 	cache *diskcache.Cache // persistent cell cache, nil when memory-only
+	hook  Hook             // cell lifecycle observer, nil when silent
 
 	mu    sync.Mutex
 	cells map[string]*cell
@@ -177,12 +178,22 @@ func (e *Engine) DoCached(key, label string, codec *Codec, compute func(ctx cont
 		select {
 		case <-c.done:
 			c.hits.Add(1)
+			if e.hook != nil {
+				e.hook(Event{Kind: EventMemoHit, Key: key, Label: label, Start: time.Now(), Err: errMsg(c.err)})
+			}
 		default:
 			c.dedup.Add(1)
+			var t0 time.Time
+			if e.hook != nil {
+				t0 = time.Now()
+			}
 			select {
 			case <-c.done:
 			case <-e.ctx.Done():
 				return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx))
+			}
+			if e.hook != nil {
+				e.hook(Event{Kind: EventDedup, Key: key, Label: label, Start: t0, Dur: time.Since(t0), Err: errMsg(c.err)})
 			}
 		}
 		return c.val, c.err
@@ -198,8 +209,11 @@ func (e *Engine) DoCached(key, label string, codec *Codec, compute func(ctx cont
 	start := time.Now()
 	if v, cerr, ok := e.diskLoad(key, codec); ok {
 		c.val, c.err, c.fromDisk = v, cerr, true
+		if e.hook != nil {
+			e.hook(Event{Kind: EventDiskHit, Key: key, Label: label, Start: start, Dur: time.Since(start), Err: errMsg(cerr)})
+		}
 	} else {
-		c.val, c.err, c.attempts = e.run(label, compute)
+		c.val, c.err, c.attempts = e.run(key, label, compute)
 		e.diskStore(key, codec, c.val, c.err)
 	}
 	c.wall = time.Since(start)
@@ -209,12 +223,22 @@ func (e *Engine) DoCached(key, label string, codec *Codec, compute func(ctx cont
 
 // run executes compute under the engine's retry policy and returns the final
 // outcome and the number of attempts actually made.
-func (e *Engine) run(label string, compute func(ctx context.Context) (any, error)) (val any, err error, attempts int) {
+func (e *Engine) run(key, label string, compute func(ctx context.Context) (any, error)) (val any, err error, attempts int) {
 	for {
+		var t0 time.Time
+		if e.hook != nil {
+			t0 = time.Now()
+		}
 		val, err = e.attempt(label, compute)
 		attempts++
+		if e.hook != nil {
+			e.hook(Event{Kind: EventCompute, Key: key, Label: label, Start: t0, Dur: time.Since(t0), Attempt: attempts, Err: errMsg(err)})
+		}
 		if err == nil || !IsTransient(err) || attempts > e.pol.Retries {
 			return val, err, attempts
+		}
+		if e.hook != nil {
+			e.hook(Event{Kind: EventRetry, Key: key, Label: label, Start: time.Now(), Attempt: attempts, Err: errMsg(err)})
 		}
 		select {
 		case <-time.After(e.pol.backoff(attempts - 1)):

@@ -33,6 +33,16 @@ func (g *Group) Trace(i int) []Segment {
 	return p.trace
 }
 
+// Traces returns every processor's recorded segments, indexed by rank — the
+// bulk form of Trace for exporters (nil slices without EnableTrace).
+func (g *Group) Traces() [][]Segment {
+	out := make([][]Segment, len(g.procs))
+	for i := range g.procs {
+		out[i] = g.Trace(i)
+	}
+	return out
+}
+
 // record is called on phase changes; it closes the open segment.
 func (p *Proc) flushSegment() {
 	if !p.tracing {
