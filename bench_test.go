@@ -2,7 +2,7 @@ package o2k_test
 
 // One benchmark per table/figure of the (reconstructed) evaluation — see
 // DESIGN.md §5. Each benchmark regenerates its artifact through the
-// experiments package and prints it once, so
+// experiments registry and prints it once, so
 //
 //	go test -bench=. -benchmem
 //
@@ -14,7 +14,6 @@ import (
 	"sync"
 	"testing"
 
-	"o2k/internal/core"
 	"o2k/internal/experiments"
 	"o2k/internal/runner"
 )
@@ -28,72 +27,48 @@ func opts(b *testing.B) experiments.Opts {
 	return experiments.DefaultOpts()
 }
 
-func runExperiment(b *testing.B, name string, gen func(experiments.Opts) *core.Table) {
+func runExperiment(b *testing.B, name string) {
 	o := opts(b)
-	var t *core.Table
+	var out string
 	for i := 0; i < b.N; i++ {
-		t = gen(o)
+		tables, err := experiments.Run(name, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = tables[0].String()
 	}
 	if _, dup := printOnce.LoadOrStore(name, true); !dup {
-		fmt.Printf("\n%s\n", t.String())
+		fmt.Printf("\n%s\n", out)
 	}
 }
 
-func BenchmarkTable1Workloads(b *testing.B) {
-	runExperiment(b, "table1", experiments.Table1)
-}
+func BenchmarkTable1Workloads(b *testing.B) { runExperiment(b, "workloads") }
 
-func BenchmarkFig2MeshSpeedup(b *testing.B) {
-	runExperiment(b, "fig2", experiments.Fig2)
-}
+func BenchmarkFig2MeshSpeedup(b *testing.B) { runExperiment(b, "mesh-speedup") }
 
-func BenchmarkFig3NBodySpeedup(b *testing.B) {
-	runExperiment(b, "fig3", experiments.Fig3)
-}
+func BenchmarkFig3NBodySpeedup(b *testing.B) { runExperiment(b, "nbody-speedup") }
 
-func BenchmarkFig4PhaseBreakdown(b *testing.B) {
-	runExperiment(b, "fig4", experiments.Fig4)
-}
+func BenchmarkFig4PhaseBreakdown(b *testing.B) { runExperiment(b, "breakdown") }
 
-func BenchmarkTable5ProgrammingEffort(b *testing.B) {
-	runExperiment(b, "table5", func(experiments.Opts) *core.Table { return experiments.Table5() })
-}
+func BenchmarkTable5ProgrammingEffort(b *testing.B) { runExperiment(b, "loc") }
 
-func BenchmarkTable6Memory(b *testing.B) {
-	runExperiment(b, "table6", experiments.Table6)
-}
+func BenchmarkTable6Memory(b *testing.B) { runExperiment(b, "memory") }
 
-func BenchmarkFig7LatencySweep(b *testing.B) {
-	runExperiment(b, "fig7", experiments.Fig7)
-}
+func BenchmarkFig7LatencySweep(b *testing.B) { runExperiment(b, "latency-sweep") }
 
-func BenchmarkFig8LoadBalance(b *testing.B) {
-	runExperiment(b, "fig8", experiments.Fig8)
-}
+func BenchmarkFig8LoadBalance(b *testing.B) { runExperiment(b, "loadbalance") }
 
-func BenchmarkTable9Traffic(b *testing.B) {
-	runExperiment(b, "table9", experiments.Table9)
-}
+func BenchmarkTable9Traffic(b *testing.B) { runExperiment(b, "traffic") }
 
-func BenchmarkFig10RegularControl(b *testing.B) {
-	runExperiment(b, "fig10", experiments.Fig10)
-}
+func BenchmarkFig10RegularControl(b *testing.B) { runExperiment(b, "regular-control") }
 
-func BenchmarkFig11PageMigration(b *testing.B) {
-	runExperiment(b, "fig11", experiments.Fig11)
-}
+func BenchmarkFig11PageMigration(b *testing.B) { runExperiment(b, "page-migration") }
 
-func BenchmarkFig12MachineSweep(b *testing.B) {
-	runExperiment(b, "fig12", experiments.Fig12)
-}
+func BenchmarkFig12MachineSweep(b *testing.B) { runExperiment(b, "machine-sweep") }
 
-func BenchmarkFig13Hybrid(b *testing.B) {
-	runExperiment(b, "fig13", experiments.Fig13)
-}
+func BenchmarkFig13Hybrid(b *testing.B) { runExperiment(b, "hybrid") }
 
-func BenchmarkFig14ConjugateGradient(b *testing.B) {
-	runExperiment(b, "fig14", experiments.Fig14)
-}
+func BenchmarkFig14ConjugateGradient(b *testing.B) { runExperiment(b, "cg") }
 
 // BenchmarkAllShared measures the whole suite on one shared cell engine —
 // the `o2kbench -exp all` path, where the parallel runner simulates each

@@ -146,23 +146,109 @@ func TestCLITraceNBody(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess test")
 	}
-	dir := t.TempDir()
-	out := filepath.Join(dir, "nbody.json")
-	report := filepath.Join(dir, "report.json")
+	out := filepath.Join(t.TempDir(), "nbody.json")
 	_, stderr, code := o2kbench(t,
-		"-quick -procs 1,4 -exp nbody-speedup -trace "+out+" -trace-exp nbody/mp -runreport-json "+report)
+		"-quick -procs 1,4 -exp nbody-speedup -trace "+out+" -trace-exp nbody/mp -runreport=json")
 	if code != 0 {
 		t.Fatalf("trace run exited %d (stderr: %s)", code, stderr)
 	}
 	checkTraceFile(t, out, 4)
-	data, err := os.ReadFile(report)
+	// -runreport=json puts the machine-readable document (engine report +
+	// phase aggregates from the traced run) on stderr.
+	for _, want := range []string{`"cells"`, `"phases"`, `"imbalance"`} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("-runreport=json stderr lacks %s:\n%s", want, stderr)
+		}
+	}
+}
+
+func TestCLIRunReportModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	base := "-quick -procs 1,2 -exp mesh-speedup "
+
+	_, stderr, code := o2kbench(t, base+"-runreport")
+	if code != 0 || !strings.Contains(stderr, "cells") || strings.Contains(stderr, `"cells"`) {
+		t.Fatalf("bare -runreport should print the text table (code %d, stderr: %s)", code, stderr)
+	}
+	_, stderr, code = o2kbench(t, base+"-runreport=json")
+	if code != 0 || !strings.Contains(stderr, `"cells"`) {
+		t.Fatalf("-runreport=json should print JSON to stderr (code %d, stderr: %s)", code, stderr)
+	}
+	// Bare -runreport follows -format.
+	stdout, stderr, code := o2kbench(t, base+"-format json -runreport")
+	if code != 0 || !strings.Contains(stderr, `"cells"`) {
+		t.Fatalf("bare -runreport with -format json should emit JSON (code %d, stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, `"Title"`) {
+		t.Fatalf("-format json stdout is not table JSON:\n%s", stdout)
+	}
+	if _, stderr, code := o2kbench(t, base+"-runreport=xml"); code != 2 ||
+		!strings.Contains(stderr, "text or json") {
+		t.Fatalf("-runreport=xml should be a usage error (code %d, stderr: %s)", code, stderr)
+	}
+	// The old two-flag spelling is gone.
+	if _, _, code := o2kbench(t, base+"-runreport-json out.json"); code != 2 {
+		t.Fatalf("-runreport-json should no longer parse (code %d)", code)
+	}
+}
+
+func TestCLIEngineFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	base := "-quick -procs 1,4 -exp mesh-speedup -engine "
+	evOut, stderr, code := o2kbench(t, base+"event")
+	if code != 0 {
+		t.Fatalf("-engine event exited %d (stderr: %s)", code, stderr)
+	}
+	gorOut, stderr, code := o2kbench(t, base+"goroutine")
+	if code != 0 {
+		t.Fatalf("-engine goroutine exited %d (stderr: %s)", code, stderr)
+	}
+	if evOut != gorOut {
+		t.Fatalf("engines disagree on stdout bytes:\nevent:\n%s\ngoroutine:\n%s", evOut, gorOut)
+	}
+	if _, stderr, code := o2kbench(t, base+"warp"); code != 2 ||
+		!strings.Contains(stderr, "warp") {
+		t.Fatalf("-engine warp should be rejected (code %d, stderr: %s)", code, stderr)
+	}
+}
+
+func TestCLIGroupedHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	_, stderr, _ := o2kbench(t, "-h")
+	for _, section := range []string{
+		"Experiment selection and output:",
+		"Engine and execution:",
+		"Observability and profiling:",
+	} {
+		if !strings.Contains(stderr, section) {
+			t.Errorf("-help lacks section %q:\n%s", section, stderr)
+		}
+	}
+	if strings.Contains(stderr, "Other:") {
+		t.Errorf("-help has unclaimed flags under Other:\n%s", stderr)
+	}
+}
+
+func TestParseProcsPresets(t *testing.T) {
+	ps, err := parseProcs("scale1024")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"cells"`, `"phases"`, `"imbalance"`} {
-		if !strings.Contains(string(data), want) {
-			t.Errorf("-runreport-json output lacks %s:\n%s", want, data)
-		}
+	if len(ps) == 0 || ps[len(ps)-1] != 1024 {
+		t.Fatalf("scale1024 preset = %v, want a sweep ending at 1024", ps)
+	}
+	if ps, err := parseProcs("1, 2,4"); err != nil || len(ps) != 3 {
+		t.Fatalf("explicit list = %v, %v", ps, err)
+	}
+	if _, err := parseProcs("scale9000"); err == nil ||
+		!strings.Contains(err.Error(), "scale1024") {
+		t.Fatalf("unknown preset should fail mentioning valid presets, got %v", err)
 	}
 }
 

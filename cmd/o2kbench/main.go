@@ -2,11 +2,23 @@
 //
 // Usage:
 //
-//	o2kbench [-exp name] [-quick] [-procs 1,2,4,8,16,32,64] [-format text|json]
-//	         [-jobs N] [-timeout d] [-cellretries N] [-runreport] [-list]
-//	         [-cache dir] [-cache-verify] [-cache-clear]
+//	o2kbench [-exp name] [-quick] [-procs 1,2,4|preset] [-format text|json] [-list]
+//	         [-engine event|goroutine] [-jobs N] [-timeout d] [-cellretries N]
+//	         [-runreport[=text|json]] [-cache dir] [-cache-verify] [-cache-clear]
 //	         [-trace f] [-trace-exp name] [-trace-ascii] [-phasereport]
-//	         [-runreport-json f] [-cpuprofile f] [-memprofile f]
+//	         [-cpuprofile f] [-memprofile f]
+//
+// The flag surface reads as three sections (see -help): experiment
+// selection and output, engine and execution, and observability and
+// profiling.
+//
+// -engine selects the simulation engine (DESIGN.md §5.7): "event" (the
+// default) runs each gang on a single-threaded virtual-time event scheduler
+// built on continuations, "goroutine" runs the original one-OS-goroutine-
+// per-proc gang. Both produce byte-identical tables; the goroutine engine is
+// kept as the differential reference. -procs takes either an explicit
+// comma-separated list or a named preset (paper, scale128, scale256,
+// scale1024) for sweeps past the paper's 64-processor ceiling.
 //
 // The trace flags are the observability subsystem (DESIGN.md §5.6): they
 // re-run one application cell with phase-timeline recording enabled —
@@ -19,8 +31,6 @@
 // spans from the engine's event hook). Because tracing is a deliberate
 // re-simulation outside the memoized engine, stdout of the experiment
 // tables is byte-identical whether or not any trace flag is given.
-// -runreport-json FILE writes the -runreport data (plus phase aggregates
-// when tracing ran) as JSON for bench tooling.
 //
 // -cache DIR attaches a persistent, crash-safe cell cache (DESIGN.md §5.5):
 // completed metrics cells are stored content-addressed under DIR and served
@@ -42,8 +52,10 @@
 // default GOMAXPROCS) that memoizes each unique (application, model,
 // machine, workload, P) cell, so `-exp all` costs one simulation per
 // unique cell, not one per experiment that mentions it. `-runreport`
-// prints the engine's cell/cache statistics to stderr — stdout carries
-// only the tables and stays byte-identical at any -jobs value.
+// prints the engine's cell/cache statistics to stderr — bare it follows
+// -format, `-runreport=json` forces the machine-readable document (report
+// plus phase aggregates when tracing ran). stdout carries only the tables
+// and stays byte-identical at any -jobs value and under either engine.
 //
 // Failure semantics (DESIGN.md §5.3): a cell that panics, exceeds the
 // -timeout deadline, or is cancelled (SIGINT/SIGTERM) becomes a
@@ -57,6 +69,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -86,17 +99,119 @@ func listTable() *core.Table {
 	return t
 }
 
-// parseProcs parses a comma-separated processor-count list.
+// parseProcs parses the -procs value: either a named preset or a
+// comma-separated processor-count list.
 func parseProcs(s string) ([]int, error) {
+	if ps, ok := experiments.ProcsPreset(s); ok {
+		return ps, nil
+	}
 	var ps []int
 	for _, f := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || v < 1 {
-			return nil, fmt.Errorf("bad processor count %q", f)
+			return nil, fmt.Errorf("bad processor count %q (counts are positive integers; presets: %s)",
+				f, strings.Join(experiments.ProcsPresetNames(), ", "))
 		}
 		ps = append(ps, v)
 	}
 	return ps, nil
+}
+
+// runReportFlag implements -runreport[=text|json]. The bare form means
+// "auto": follow -format. An explicit =text or =json forces the mode.
+type runReportFlag struct{ mode string }
+
+func (f *runReportFlag) String() string { return f.mode }
+
+// IsBoolFlag lets the flag package accept bare -runreport (parsed as
+// Set("true")) while still allowing -runreport=json.
+func (f *runReportFlag) IsBoolFlag() bool { return true }
+
+func (f *runReportFlag) Set(s string) error {
+	switch s {
+	case "true":
+		f.mode = "auto"
+	case "false":
+		f.mode = ""
+	case "text", "json":
+		f.mode = s
+	default:
+		return fmt.Errorf("must be text or json (bare -runreport follows -format)")
+	}
+	return nil
+}
+
+// resolve maps the auto mode to the concrete report format.
+func (f *runReportFlag) resolve(format string) string {
+	if f.mode == "auto" {
+		if format == "json" {
+			return "json"
+		}
+		return "text"
+	}
+	return f.mode
+}
+
+// flagGroups is the -help layout: every flag belongs to exactly one of
+// three sections so the CLI surface reads as selection/output, engine and
+// execution, and observability. usage() appends any unclaimed flag under
+// "Other" so a new flag can never silently vanish from -help.
+var flagGroups = []struct {
+	title string
+	names []string
+}{
+	{"Experiment selection and output", []string{
+		"exp", "list", "quick", "procs", "format"}},
+	{"Engine and execution", []string{
+		"engine", "jobs", "timeout", "cellretries", "runreport",
+		"cache", "cache-verify", "cache-clear"}},
+	{"Observability and profiling", []string{
+		"trace", "trace-exp", "trace-ascii", "phasereport",
+		"cpuprofile", "memprofile"}},
+}
+
+func printFlag(out io.Writer, f *flag.Flag) {
+	if f == nil {
+		return
+	}
+	arg, usage := flag.UnquoteUsage(f)
+	line := "  -" + f.Name
+	if arg != "" {
+		line += " " + arg
+	}
+	fmt.Fprintf(out, "%s\n    \t%s", line, strings.ReplaceAll(usage, "\n", "\n    \t"))
+	if f.DefValue != "" && f.DefValue != "false" {
+		fmt.Fprintf(out, " (default %s)", f.DefValue)
+	}
+	fmt.Fprintln(out)
+}
+
+func usage() {
+	out := flag.CommandLine.Output()
+	fmt.Fprint(out, "Usage: o2kbench [flags]\n")
+	fmt.Fprint(out, "\nRegenerates the study's tables and figures; -list prints the experiment index.\n")
+	seen := map[string]bool{}
+	for _, g := range flagGroups {
+		fmt.Fprintf(out, "\n%s:\n", g.title)
+		for _, name := range g.names {
+			printFlag(out, flag.Lookup(name))
+			seen[name] = true
+		}
+	}
+	var orphans []*flag.Flag
+	flag.VisitAll(func(f *flag.Flag) {
+		// The test binary registers the testing package's test.* flags on
+		// the same FlagSet; they are not part of the CLI surface.
+		if !seen[f.Name] && !strings.HasPrefix(f.Name, "test.") {
+			orphans = append(orphans, f)
+		}
+	})
+	if len(orphans) > 0 {
+		fmt.Fprint(out, "\nOther:\n")
+		for _, f := range orphans {
+			printFlag(out, f)
+		}
+	}
 }
 
 // cacheMaintenance performs the standalone -cache-clear / -cache-verify
@@ -154,18 +269,21 @@ func writeTrace(path string, traced []experiments.TracedRun, col *obs.Collector)
 	return nil
 }
 
-// writeRunReportJSON emits the engine report — and the phase aggregates,
-// when a traced run produced them — as one machine-readable document.
-func writeRunReportJSON(path string, report *runner.Report, phases []obs.RunPhases) error {
+// writeRunReport emits the engine report to stderr: as a text table, or —
+// with -runreport=json — as one machine-readable document that also
+// carries the phase aggregates when a traced run produced them.
+func writeRunReport(mode string, report *runner.Report, phases []obs.RunPhases) error {
+	if mode != "json" {
+		fmt.Fprint(os.Stderr, "\n"+report.Table().String())
+		return nil
+	}
 	doc := struct {
 		*runner.Report
 		Phases []obs.RunPhases `json:"phases,omitempty"`
 	}{report, phases}
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // main delegates to run so that deferred profile writers fire before the
@@ -177,12 +295,14 @@ func main() {
 func run() int {
 	exp := flag.String("exp", "all", "experiment to run (-list for the index; 'all' runs everything)")
 	quick := flag.Bool("quick", false, "reduced workloads and processor counts")
-	procs := flag.String("procs", "", "comma-separated processor counts (overrides default)")
+	procs := flag.String("procs", "", "processor counts: a comma-separated list, or a preset name\n("+strings.Join(experiments.ProcsPresetNames(), ", ")+")")
 	format := flag.String("format", "text", "output format: text or json")
+	engine := flag.String("engine", "event", "simulation engine: event (virtual-time scheduler) or goroutine (reference gang)")
 	jobs := flag.Int("jobs", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-cell compute deadline (0 = none); expired cells render FAILED(timeout)")
 	retries := flag.Int("cellretries", 0, "retry budget for cells that fail with a transient error")
-	runreport := flag.Bool("runreport", false, "print cell cache/timing report to stderr (JSON with -format json)")
+	var runreport runReportFlag
+	flag.Var(&runreport, "runreport", "print the cell cache/timing report to stderr; =text or =json forces the\nformat, bare follows -format")
 	cacheDir := flag.String("cache", "", "persistent cell-cache directory (created if missing); cache failures degrade to recompute")
 	cacheVerify := flag.Bool("cache-verify", false, "with -cache: validate every entry, evict bad ones, and exit (1 if any were bad)")
 	cacheClear := flag.Bool("cache-clear", false, "with -cache: remove every entry and exit")
@@ -191,9 +311,9 @@ func run() int {
 	traceExp := flag.String("trace-exp", "mesh", "what the trace flags re-run with tracing on: mesh[/MODEL] or nbody[/MODEL]")
 	traceASCII := flag.Bool("trace-ascii", false, "print the traced run's phase timeline as a text Gantt chart")
 	phaseReport := flag.Bool("phasereport", false, "print per-phase min/max/mean/imbalance of the traced run to stderr")
-	runreportJSON := flag.String("runreport-json", "", "write the run report (cells, disk cache, phase aggregates) as JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
+	flag.Usage = usage
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -230,6 +350,13 @@ func run() int {
 		fmt.Print(listTable().String())
 		return 0
 	}
+
+	se, err := sim.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "o2kbench:", err)
+		return 2
+	}
+	sim.SetDefaultEngine(se)
 
 	o := experiments.DefaultOpts()
 	if *quick {
@@ -346,22 +473,10 @@ func run() int {
 			}
 		}
 	}
-	if *runreportJSON != "" {
-		if err := writeRunReportJSON(*runreportJSON, report, phases); err != nil {
+	if mode := runreport.resolve(*format); mode != "" {
+		if err := writeRunReport(mode, report, phases); err != nil {
 			fmt.Fprintln(os.Stderr, "o2kbench:", err)
 			return 1
-		}
-	}
-	if *runreport {
-		if *format == "json" {
-			enc := json.NewEncoder(os.Stderr)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(report); err != nil {
-				fmt.Fprintln(os.Stderr, "o2kbench:", err)
-				return 1
-			}
-		} else {
-			fmt.Fprint(os.Stderr, "\n"+report.Table().String())
 		}
 	}
 	if report.Failures > 0 {

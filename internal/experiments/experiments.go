@@ -7,8 +7,8 @@
 // invocation that produces many artifacts — `o2kbench -exp all`, the
 // verdict checker — simulates each unique (application, model, machine,
 // workload, P) cell exactly once, in parallel on a bounded worker pool.
-// Run/RunOn are the entry points; the exported per-artifact functions
-// (Fig2, Table6, …) remain as thin deprecated wrappers over the registry.
+// Register/Run/RunOn/List are the only entry points; the pre-registry
+// per-artifact wrappers (Fig2, Table6, …) are gone.
 //
 // Cells carry errors (DESIGN.md §5.3): a cell that panicked, timed out, or
 // was cancelled renders as a FAILED(<reason>) table entry via the fmt*
@@ -573,78 +573,3 @@ func buildFig14(e *runner.Engine, o Opts) *core.Table {
 	}
 	return t
 }
-
-// Deprecated wrappers — the pre-registry API. Each builds its artifact on a
-// private engine; callers producing more than one artifact should use
-// RunOn/RunAll with a shared engine to get cross-experiment cell reuse.
-
-// Table1 reports the application and workload characteristics.
-//
-// Deprecated: use Run("workloads", o).
-func Table1(o Opts) *core.Table { return buildTable1(runner.New(o.Jobs), o) }
-
-// Fig2 is the adaptive-mesh scaling figure.
-//
-// Deprecated: use Run("mesh-speedup", o).
-func Fig2(o Opts) *core.Table { return buildFig2(runner.New(o.Jobs), o) }
-
-// Fig3 is the N-body scaling figure.
-//
-// Deprecated: use Run("nbody-speedup", o).
-func Fig3(o Opts) *core.Table { return buildFig3(runner.New(o.Jobs), o) }
-
-// Fig4 is the phase-breakdown figure at the largest processor count.
-//
-// Deprecated: use Run("breakdown", o).
-func Fig4(o Opts) *core.Table { return buildFig4(runner.New(o.Jobs), o) }
-
-// Table6 is the memory-footprint table.
-//
-// Deprecated: use Run("memory", o).
-func Table6(o Opts) *core.Table { return buildTable6(runner.New(o.Jobs), o) }
-
-// Fig7 is the remote:local latency sensitivity ablation.
-//
-// Deprecated: use Run("latency-sweep", o).
-func Fig7(o Opts) *core.Table { return buildFig7(runner.New(o.Jobs), o) }
-
-// Fig8 is the load-balancing (PLUM remap on/off) figure.
-//
-// Deprecated: use Run("loadbalance", o).
-func Fig8(o Opts) *core.Table { return buildFig8(runner.New(o.Jobs), o) }
-
-// Table9 is the communication/traffic statistics table.
-//
-// Deprecated: use Run("traffic", o).
-func Table9(o Opts) *core.Table { return buildTable9(runner.New(o.Jobs), o) }
-
-// Fig10 is the regular-workload control figure.
-//
-// Deprecated: use Run("regular-control", o).
-func Fig10(o Opts) *core.Table { return buildFig10(runner.New(o.Jobs), o) }
-
-// Fig11 is the CC-SAS page-migration ablation.
-//
-// Deprecated: use Run("page-migration", o).
-func Fig11(o Opts) *core.Table { return buildFig11(runner.New(o.Jobs), o) }
-
-// Fig12 is the machine-class sweep.
-//
-// Deprecated: use Run("machine-sweep", o).
-func Fig12(o Opts) *core.Table { return buildFig12(runner.New(o.Jobs), o) }
-
-// Fig13 is the hybrid-model extension figure.
-//
-// Deprecated: use Run("hybrid", o).
-func Fig13(o Opts) *core.Table { return buildFig13(runner.New(o.Jobs), o) }
-
-// Fig14 is the conjugate-gradient figure.
-//
-// Deprecated: use Run("cg", o).
-func Fig14(o Opts) *core.Table { return buildFig14(runner.New(o.Jobs), o) }
-
-// All runs every experiment in index order on one shared engine.
-//
-// Deprecated: use Run("all", o), or RunAll with a caller-owned engine when
-// the run report is wanted.
-func All(o Opts) []*core.Table { return RunAll(runner.New(o.Jobs), o) }

@@ -4,10 +4,26 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"o2k/internal/core"
+	"o2k/internal/runner"
 )
 
+// runOne builds a single registered experiment through the registry API.
+func runOne(t *testing.T, name string, o Opts) *core.Table {
+	t.Helper()
+	tables, err := Run(name, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("Run(%q) returned %d tables, want 1", name, len(tables))
+	}
+	return tables[0]
+}
+
 func TestAllExperimentsQuick(t *testing.T) {
-	tables := All(QuickOpts())
+	tables := RunAll(runner.New(0), QuickOpts())
 	if len(tables) != 14 {
 		t.Fatalf("expected 14 experiment tables, got %d", len(tables))
 	}
@@ -28,7 +44,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 
 func TestFig2SpeedupIncreases(t *testing.T) {
 	o := QuickOpts()
-	tb := Fig2(o)
+	tb := runOne(t, "mesh-speedup", o)
 	// Final row's CC-SAS speedup (last col) must exceed 1.5 at P=16.
 	lastRow := tb.Rows[len(tb.Rows)-1]
 	sp, err := strconv.ParseFloat(lastRow[6], 64)
@@ -68,7 +84,7 @@ func TestTable5LoCOrdering(t *testing.T) {
 
 func TestFig7MonotoneForSAS(t *testing.T) {
 	o := QuickOpts()
-	tb := Fig7(o)
+	tb := runOne(t, "latency-sweep", o)
 	// CC-SAS times (col 3) must not decrease as the latency ratio grows.
 	prev := ""
 	for _, r := range tb.Rows {
@@ -101,7 +117,7 @@ func parseTime(t *testing.T, s string) float64 {
 
 func TestFig8RemapReducesMovement(t *testing.T) {
 	o := QuickOpts()
-	tb := Fig8(o)
+	tb := runOne(t, "loadbalance", o)
 	for _, r := range tb.Rows {
 		onW, _ := strconv.ParseFloat(r[3], 64)
 		offW, _ := strconv.ParseFloat(r[4], 64)
@@ -112,7 +128,7 @@ func TestFig8RemapReducesMovement(t *testing.T) {
 }
 
 func TestFig12MachineClassWinners(t *testing.T) {
-	tb := Fig12(QuickOpts())
+	tb := runOne(t, "machine-sweep", QuickOpts())
 	winners := map[string]string{}
 	for _, r := range tb.Rows {
 		winners[r[0]] = r[4]

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"os"
 	"testing"
+
+	"o2k/internal/runner"
 )
 
 // goldenQuickSHA256 pins the exact bytes of the full quick-scale experiment
@@ -23,7 +25,7 @@ func TestGoldenQuickOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full quick suite; skipped with -short")
 	}
-	out := renderAll(All(QuickOpts()))
+	out := renderAll(RunAll(runner.New(0), QuickOpts()))
 	sum := sha256.Sum256([]byte(out))
 	got := hex.EncodeToString(sum[:])
 	if got != goldenQuickSHA256 {

@@ -122,13 +122,3 @@ func TestRunUnknownName(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
-
-func TestRunAllMatchesDeprecatedAll(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs the full quick suite twice")
-	}
-	o := QuickOpts()
-	if renderAll(All(o)) != renderAll(RunAll(runner.New(2), o)) {
-		t.Fatal("deprecated All diverges from RunAll")
-	}
-}

@@ -65,8 +65,10 @@ type Config struct {
 	PageMigrateNS  sim.Time // OS cost to migrate one page to a new home node
 }
 
-// MaxProcs bounds group sizes; the Origin2000 in the study scaled to 64.
-const MaxProcs = 512
+// MaxProcs bounds group sizes; the Origin2000 in the study scaled to 64,
+// and the largest shipped configuration to 1024 (128 in a single image) —
+// the event engine and lazy cache tags make the full 1024 simulable.
+const MaxProcs = 1024
 
 // Default returns the baseline Origin2000-like configuration for p
 // processors.

@@ -8,7 +8,7 @@ import (
 )
 
 func TestDefaultValidates(t *testing.T) {
-	for _, p := range []int{1, 2, 3, 8, 64, 512} {
+	for _, p := range []int{1, 2, 3, 8, 64, 512, 1024} {
 		cfg := Default(p)
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("Default(%d) invalid: %v", p, err)

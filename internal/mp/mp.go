@@ -35,16 +35,18 @@ type message struct {
 	availAt  sim.Time // earliest virtual time the payload can be delivered
 }
 
-// mailbox is one rank's pending-message queue with tag matching.
+// mailbox is one rank's pending-message queue with tag matching. Blocking
+// receives suspend via an engine-aware sim.Cond, so they work identically
+// under the goroutine gang and the event scheduler.
 type mailbox struct {
 	mu   sync.Mutex
-	cond *sync.Cond
+	cond sim.Cond
 	q    []*message
 }
 
 func newMailbox() *mailbox {
 	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
+	mb.cond.Kind = "mp recv"
 	return mb
 }
 
@@ -55,9 +57,9 @@ func (mb *mailbox) put(m *message) {
 	mb.mu.Unlock()
 }
 
-// take blocks until a message from src with tag is queued and removes the
-// first match (FIFO per (src, tag)).
-func (mb *mailbox) take(src, tag int) *message {
+// take suspends p until a message from src with tag is queued and removes
+// the first match (FIFO per (src, tag)).
+func (mb *mailbox) take(p *sim.Proc, src, tag int) *message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
@@ -67,7 +69,7 @@ func (mb *mailbox) take(src, tag int) *message {
 				return m
 			}
 		}
-		mb.cond.Wait()
+		mb.cond.Wait(p, &mb.mu)
 	}
 }
 
@@ -169,7 +171,7 @@ func Send[T any](r *Rank, dst, tag int, data []T) {
 // payload. The rank's clock advances to the delivery time plus receive
 // overhead.
 func Recv[T any](r *Rank, src, tag int) []T {
-	m := r.W.mailboxes[r.ID()].take(src, tag)
+	m := r.W.mailboxes[r.ID()].take(r.P, src, tag)
 	data, ok := m.data.([]T)
 	if !ok {
 		panic(fmt.Sprintf("mp: type mismatch receiving from %d tag %d: have %T", src, tag, m.data))

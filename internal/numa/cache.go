@@ -25,17 +25,35 @@ const cacheWays = 4
 // this constant expression fails to compile if cacheWays changes.
 const _ = uint(cacheWays-4) + uint(4-cacheWays)
 
+// Tag storage is chunked and lazily materialized so the footprint stops
+// scaling as procs × cache size: every untouched chunk of every cache
+// aliases the one shared all-invalid chunk below, and a private (writable)
+// copy is made only when a line is first installed in that chunk. At 1024
+// simulated processors a 4 MiB cache would otherwise pin 128 KiB of tags
+// per proc — 128 MiB of host memory — while a quick run touches a few
+// chunks per proc. chunkSlots is a multiple of cacheWays, so a set never
+// straddles two chunks.
+const (
+	chunkSlotsLog = 10
+	chunkSlots    = 1 << chunkSlotsLog // 4 KiB of tags per chunk
+)
+
+// zeroChunk is the shared all-invalid chunk (tag 0 = invalid; real tags are
+// uint32(line)+1 >= 1, so aliasing it is always sound). Read-only.
+var zeroChunk [chunkSlots]uint32
+
 // cache is a set-associative, line-tagged cache simulator with LRU
 // replacement. It tracks only tags (presence), not data — data correctness
 // is handled by the real Go slices. A cache is owned by exactly one
-// processor goroutine; the coherence merge touches it only while that
-// processor is blocked at a barrier.
+// processor; the coherence merge touches it only while that processor is
+// blocked at a barrier.
 // A tag is uint32(line)+1 (0 = invalid): global line indices are bounded by
 // Space.reserve to fit 32 bits, and halving the tag width halves the host
 // cache footprint of the hot tag arrays (64 simulated processors' tags no
 // longer thrash the host LLC).
 type cache struct {
-	tags      []uint32 // cacheWays tags per set, LRU-ordered (way 0 = MRU); 0 = invalid
+	chunks    [][]uint32 // cacheWays tags per set, LRU-ordered (way 0 = MRU)
+	owned     []bool     // chunks[i] is a private copy, not the zero chunk
 	setMask   uint64
 	setBits   uint // log2(number of sets)
 	lineShift uint
@@ -78,13 +96,24 @@ func newCache(cacheBytes, lineBytes int) *cache {
 	if bits == 0 {
 		bits = 1 // avoid zero shifts when there is a single set
 	}
-	return &cache{
-		tags:      make([]uint32, sets*cacheWays),
+	n := sets * cacheWays
+	c := &cache{
+		chunks:    make([][]uint32, (n+chunkSlots-1)/chunkSlots),
 		setMask:   uint64(sets - 1),
 		setBits:   bits,
 		lineShift: shift,
 		minLine:   ^uint64(0),
 	}
+	c.owned = make([]bool, len(c.chunks))
+	for i := range c.chunks {
+		lo := i * chunkSlots
+		hi := lo + chunkSlots
+		if hi > n {
+			hi = n
+		}
+		c.chunks[i] = zeroChunk[:hi-lo]
+	}
+	return c
 }
 
 // setOf maps a line address to its set. The index XOR-folds higher address
@@ -105,8 +134,10 @@ func (c *cache) setBase(line uint64) uint64 {
 }
 
 // mruHit reports whether line occupies the MRU way of the set at base.
+// The chunk indirection costs one extra load on the hottest path; it is
+// what lets untouched chunks stay aliased to the shared zero chunk.
 func (c *cache) mruHit(base, line uint64) bool {
-	return c.tags[base] == uint32(line)+1
+	return c.chunks[base>>chunkSlotsLog][base&(chunkSlots-1)] == uint32(line)+1
 }
 
 // access looks line up and installs it as MRU; reports whether it was a hit.
@@ -120,8 +151,12 @@ func (c *cache) access(line uint64) bool {
 // generic copy() in a loop paid a runtime call per probe.
 func (c *cache) accessSlow(base, line uint64) bool {
 	c.gen++ // every path below reorders or installs tags
-	set := c.tags[base : base+cacheWays : base+cacheWays]
+	ci := base >> chunkSlotsLog
+	off := base & (chunkSlots - 1)
+	set := c.chunks[ci][off : off+cacheWays : off+cacheWays]
 	t := uint32(line) + 1
+	// The hit cases below mutate set in place; they are only reachable when
+	// the tag is present, which implies the chunk is already materialized.
 	switch t {
 	case set[1]:
 		set[1] = set[0]
@@ -139,7 +174,15 @@ func (c *cache) accessSlow(base, line uint64) bool {
 		set[0] = t
 		return true
 	}
-	// Miss: evict LRU (last way), install as MRU.
+	// Miss: evict LRU (last way), install as MRU — the only path that writes
+	// to a previously untouched chunk, so materialize a private copy first.
+	// The aliased zero chunk is all-invalid; there is nothing to copy.
+	if !c.owned[ci] {
+		priv := make([]uint32, len(c.chunks[ci]))
+		c.chunks[ci] = priv
+		c.owned[ci] = true
+		set = priv[off : off+cacheWays : off+cacheWays]
+	}
 	if set[3] == 0 {
 		c.live++
 	}
@@ -156,12 +199,21 @@ func (c *cache) accessSlow(base, line uint64) bool {
 	return false
 }
 
+// set returns the cacheWays-long tag slice of line's set (possibly the
+// read-only zero chunk; callers that mutate must hold the tag, which
+// implies a materialized chunk).
+func (c *cache) set(line uint64) []uint32 {
+	base := c.setOf(line) * cacheWays
+	off := base & (chunkSlots - 1)
+	return c.chunks[base>>chunkSlotsLog][off : off+cacheWays : off+cacheWays]
+}
+
 // present reports whether line is cached, without touching LRU state.
 func (c *cache) present(line uint64) bool {
-	base := int(c.setOf(line) * cacheWays)
+	set := c.set(line)
 	t := uint32(line) + 1
 	for w := 0; w < cacheWays; w++ {
-		if c.tags[base+w] == t {
+		if set[w] == t {
 			return true
 		}
 	}
@@ -171,13 +223,13 @@ func (c *cache) present(line uint64) bool {
 // invalidate drops line if present, counting a coherence eviction; it
 // reports whether the line was actually evicted.
 func (c *cache) invalidate(line uint64) bool {
-	base := int(c.setOf(line) * cacheWays)
+	set := c.set(line)
 	t := uint32(line) + 1
 	for w := 0; w < cacheWays; w++ {
-		if c.tags[base+w] == t {
+		if set[w] == t {
 			// Compact the remaining ways forward.
-			copy(c.tags[base+w:base+cacheWays-1], c.tags[base+w+1:base+cacheWays])
-			c.tags[base+cacheWays-1] = 0
+			copy(set[w:cacheWays-1], set[w+1:cacheWays])
+			set[cacheWays-1] = 0
 			c.cohEvicts++
 			c.live--
 			c.gen++
@@ -187,10 +239,17 @@ func (c *cache) invalidate(line uint64) bool {
 	return false
 }
 
-// flush empties the cache (used between experiment repetitions).
+// flush empties the cache (used between experiment repetitions) by
+// re-aliasing every materialized chunk to the shared zero chunk, returning
+// the private copies to the allocator.
 func (c *cache) flush() {
 	c.gen++
-	clear(c.tags)
+	for i, own := range c.owned {
+		if own {
+			c.chunks[i] = zeroChunk[:len(c.chunks[i])]
+			c.owned[i] = false
+		}
+	}
 	c.cohEvicts = 0
 	c.live = 0
 	c.minLine = ^uint64(0)

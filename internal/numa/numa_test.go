@@ -74,8 +74,50 @@ func TestCacheLRUPromotionOnHit(t *testing.T) {
 
 func TestCacheNonPow2Capacity(t *testing.T) {
 	c := newCache(1000, 128) // 1000/128/4 -> 1 set
-	if len(c.tags) != cacheWays {
-		t.Fatalf("tag slots = %d, want %d", len(c.tags), cacheWays)
+	slots := 0
+	for _, ch := range c.chunks {
+		slots += len(ch)
+	}
+	if slots != cacheWays {
+		t.Fatalf("tag slots = %d, want %d", slots, cacheWays)
+	}
+}
+
+func TestCacheTagChunksLazilyMaterialized(t *testing.T) {
+	// A fresh cache must not own a single chunk: all tag storage aliases the
+	// shared zero chunk until a line is installed, and flush re-aliases it.
+	c := newCache(1<<22, 128) // 4 MiB: 8192 sets, 32 chunks
+	owned := func() int {
+		n := 0
+		for _, o := range c.owned {
+			if o {
+				n++
+			}
+		}
+		return n
+	}
+	if got := owned(); got != 0 {
+		t.Fatalf("fresh cache owns %d chunks, want 0", got)
+	}
+	if c.present(7) || c.invalidate(7) {
+		t.Fatal("probe of untouched cache found a line")
+	}
+	if got := owned(); got != 0 {
+		t.Fatalf("read-only probes materialized %d chunks, want 0", got)
+	}
+	c.access(7)
+	if got := owned(); got != 1 {
+		t.Fatalf("one install owns %d chunks, want 1", got)
+	}
+	if !c.present(7) || !c.access(7) {
+		t.Fatal("installed line not found")
+	}
+	c.flush()
+	if got := owned(); got != 0 {
+		t.Fatalf("flushed cache owns %d chunks, want 0", got)
+	}
+	if c.present(7) {
+		t.Fatal("line survived flush")
 	}
 }
 

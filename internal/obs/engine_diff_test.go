@@ -1,0 +1,63 @@
+package obs_test
+
+// Observability must be engine-independent: the phase timelines a traced
+// run records — and therefore the Chrome trace bytes and the per-phase
+// aggregate table built from them — are part of the deterministic surface
+// the differential engine suite protects.
+
+import (
+	"bytes"
+	"testing"
+
+	"o2k/internal/experiments"
+	"o2k/internal/obs"
+	"o2k/internal/sim"
+)
+
+func traceBytesUnder(t *testing.T, engine, target string) (trace []byte, phaseTable string) {
+	t.Helper()
+	e, err := sim.EngineByName(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := sim.SetDefaultEngine(e)
+	defer sim.SetDefaultEngine(prev)
+
+	traced, err := experiments.Trace(target, experiments.QuickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := obs.NewBuilder()
+	phases := make([]obs.RunPhases, len(traced))
+	for i, tr := range traced {
+		b.AddTimeline(tr.Label, tr.Group)
+		phases[i] = obs.NewRunPhases(tr.Label, tr.Group)
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("engine %q trace fails schema validation: %v", engine, err)
+	}
+	return buf.Bytes(), obs.PhaseTable(phases).String()
+}
+
+func TestTraceBytesIdenticalAcrossEngines(t *testing.T) {
+	for _, target := range []string{"mesh/sas", "nbody/mp"} {
+		t.Run(target, func(t *testing.T) {
+			names := sim.EngineNames()
+			refTrace, refTable := traceBytesUnder(t, names[0], target)
+			for _, en := range names[1:] {
+				gotTrace, gotTable := traceBytesUnder(t, en, target)
+				if !bytes.Equal(gotTrace, refTrace) {
+					t.Errorf("Chrome trace bytes differ between engines %q and %q", en, names[0])
+				}
+				if gotTable != refTable {
+					t.Errorf("phase table differs between engines %q and %q:\n%s\n%s",
+						en, names[0], gotTable, refTable)
+				}
+			}
+		})
+	}
+}

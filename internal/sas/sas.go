@@ -41,8 +41,7 @@ func NewWorld(m *machine.Machine, sp *numa.Space) *World {
 	// per-episode closure. (Kept at the same counted line count: Table 5
 	// measures this file, and stdout is byte-frozen — see DESIGN.md §5.4.)
 	stages := m.LogStages(m.Procs())
-	barrierNS := m.Cfg.SasBarrierBase +
-		sim.Time(stages)*m.Cfg.SasBarrierHop
+	barrierNS := m.Cfg.SasBarrierBase + sim.Time(stages)*m.Cfg.SasBarrierHop
 	cost := func(int) sim.Time { return barrierNS }
 	w.barrier = sim.NewBarrierHook(m.Procs(), cost, sp.MergeEpoch)
 	w.reducer = sim.NewReducer(m.Procs(), cost)
@@ -80,22 +79,28 @@ func (c *Ctx) Barrier() {
 // processor — the standard "owner computes" loop decomposition.
 func (c *Ctx) Range(n int) (lo, hi int) {
 	p, np := c.ID(), c.Size()
-	lo = p * n / np
-	hi = (p + 1) * n / np
+	lo, hi = p*n/np, (p+1)*n/np
 	return lo, hi
 }
 
 // Lock is a costed mutual-exclusion lock over shared data. The virtual cost
 // models an uncontended remote atomic; contention additionally serializes
 // virtual time because acquirers merge clocks with the previous holder.
+//
+// Holding is tracked by a flag guarded by a briefly-held host mutex, with an
+// engine-aware sim.Cond for contended waits: no host lock is ever held
+// across a suspension point, which the event engine's single scheduler
+// goroutine requires (and the goroutine engine tolerates identically).
 type Lock struct {
 	w       *World
 	mu      sync.Mutex
+	cond    sim.Cond
+	held    bool
 	release sim.Time // virtual time the last holder released
 }
 
 // NewLock creates a lock in world w.
-func NewLock(w *World) *Lock { return &Lock{w: w} }
+func NewLock(w *World) *Lock { return &Lock{w: w, cond: sim.Cond{Kind: "sas lock"}} }
 
 // Acquire takes the lock, charging the atomic cost and serializing with the
 // previous holder's release time.
@@ -103,14 +108,22 @@ func (l *Lock) Acquire(c *Ctx) {
 	prev := c.P.SetPhase(sim.PhaseSync)
 	c.P.Advance(l.w.M.Cfg.SasLockNS)
 	l.mu.Lock()
+	for l.held {
+		l.cond.Wait(c.P, &l.mu)
+	}
+	l.held = true
 	c.P.AdvanceTo(l.release)
+	l.mu.Unlock()
 	c.P.SetPhase(prev)
 	c.P.LockOps++
 }
 
 // Release drops the lock.
 func (l *Lock) Release(c *Ctx) {
+	l.mu.Lock()
 	l.release = c.P.Now()
+	l.held = false
+	l.cond.Broadcast()
 	l.mu.Unlock()
 }
 
@@ -138,18 +151,14 @@ const (
 )
 
 func combine[T Number](op Op, a, b T) T {
-	switch op {
-	case OpSum:
+	// Comparisons deliberately keep the original if-based semantics (return a
+	// unless b strictly wins), not the builtin min/max NaN rules.
+	switch {
+	case op == OpSum:
 		return a + b
-	case OpMax:
-		if b > a {
-			return b
-		}
-		return a
-	case OpMin:
-		if b < a {
-			return b
-		}
+	case op == OpMax && b > a, op == OpMin && b < a:
+		return b
+	case op == OpMax, op == OpMin:
 		return a
 	}
 	panic("sas: unknown op")
@@ -181,9 +190,7 @@ func Allreduce[T Number](c *Ctx, vals []T, op Op) []T {
 }
 
 // Allreduce1 is Allreduce for a single value.
-func Allreduce1[T Number](c *Ctx, v T, op Op) T {
-	return Allreduce(c, []T{v}, op)[0]
-}
+func Allreduce1[T Number](c *Ctx, v T, op Op) T { return Allreduce(c, []T{v}, op)[0] }
 
 // Exscan returns, for each processor, the exclusive prefix sum of the
 // per-processor contributions v (rank order) together with the global total.

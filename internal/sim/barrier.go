@@ -13,9 +13,11 @@ import (
 // Unlike Proc, a Barrier is shared and safe for concurrent use — it is the
 // synchronization point between processor goroutines.
 //
-// Every episode is covered by the stall watchdog (see watchdog.go): if the
-// participant count does not reach n within StallDeadline of host time, all
-// arrived participants panic with a *StallError instead of blocking forever.
+// Every episode is covered against stalls: under the goroutine engine by the
+// wall-clock watchdog (see watchdog.go), under the event engine by the
+// scheduler's structural deadlock detection (see event.go). Either way, if
+// the participant count can no longer reach n, all arrived participants
+// panic with a *StallError instead of blocking forever.
 type Barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -29,6 +31,7 @@ type Barrier struct {
 	hook    func() []Time
 
 	arrived []int       // ranks in the open episode, for stall diagnostics
+	evq     []*evProc   // event-engine participants suspended in the episode
 	timer   *time.Timer // pending watchdog deadline, nil between episodes
 	stall   *StallError // sticky: a stalled barrier stays broken
 }
@@ -102,7 +105,9 @@ func (b *Barrier) Wait(p *Proc) {
 	}
 	b.waiting++
 	b.arrived = append(b.arrived, p.id)
-	if b.waiting == 1 {
+	if b.waiting == 1 && p.ev == nil {
+		// Event-engine episodes rely on structural deadlock detection
+		// instead of a wall-clock timer (see event.go).
 		b.armWatchdog()
 	}
 	if b.waiting == b.n {
@@ -120,11 +125,11 @@ func (b *Barrier) Wait(p *Proc) {
 		b.maxT = 0
 		b.arrived = b.arrived[:0]
 		b.gen++
-		b.cond.Broadcast()
+		b.release()
 	} else {
 		gen := b.gen
 		for gen == b.gen && b.stall == nil {
-			b.cond.Wait()
+			b.wait(p)
 		}
 		if b.stall != nil && gen == b.gen {
 			err := b.stall
@@ -141,6 +146,50 @@ func (b *Barrier) Wait(p *Proc) {
 	prev := p.SetPhase(PhaseSync)
 	p.AdvanceTo(rel)
 	p.SetPhase(prev)
+}
+
+// wait suspends p until the open episode completes or stalls. b.mu is held
+// at entry and exit. Goroutine-engine procs block on the condition variable;
+// event-engine procs suspend their continuation, dropping b.mu first because
+// the whole gang shares one goroutine.
+func (b *Barrier) wait(p *Proc) {
+	if p.ev == nil {
+		b.cond.Wait()
+		return
+	}
+	b.evq = append(b.evq, p.ev)
+	b.mu.Unlock()
+	p.ev.block(b.stallInfo)
+	b.mu.Lock()
+}
+
+// release wakes every suspended participant of the episode that just
+// completed. Called with b.mu held by the last arriver, after relT/pen are
+// final: event-engine procs are rescheduled at their individual release
+// times, which keeps the event heap ordered by virtual time.
+func (b *Barrier) release() {
+	for _, ep := range b.evq {
+		rel := b.relT
+		if b.pen != nil && ep.p.id < len(b.pen) {
+			rel += b.pen[ep.p.id]
+		}
+		ep.wake(rel)
+	}
+	b.evq = b.evq[:0]
+	b.cond.Broadcast()
+}
+
+// stallInfo marks the open episode as stalled and returns the sticky error —
+// the event engine's counterpart of the watchdog timer callback. Idempotent:
+// every participant poisoned during the unwind receives the same error.
+func (b *Barrier) stallInfo() *StallError {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stall == nil {
+		b.stall = &StallError{Kind: "barrier", N: b.n,
+			Arrived: append([]int(nil), b.arrived...), Deadline: StallDeadline()}
+	}
+	return b.stall
 }
 
 // Reducer merges one value per participant at a barrier-like rendezvous and
@@ -162,6 +211,7 @@ type Reducer struct {
 	cost   func(n int) Time
 
 	arrived []int
+	evq     []*evProc
 	timer   *time.Timer
 	stall   *StallError
 }
@@ -211,7 +261,8 @@ func (r *Reducer) DoAs(p *Proc, slot int, v any, combine func(vals []any) any) a
 	}
 	r.filled++
 	r.arrived = append(r.arrived, slot)
-	if r.filled == 1 {
+	if r.filled == 1 && p.ev == nil {
+		// As with Barrier: event-engine episodes stall structurally.
 		r.armWatchdog()
 	}
 	if r.filled == r.n {
@@ -226,11 +277,11 @@ func (r *Reducer) DoAs(p *Proc, slot int, v any, combine func(vals []any) any) a
 		r.maxT = 0
 		r.arrived = r.arrived[:0]
 		r.gen++
-		r.cond.Broadcast()
+		r.release()
 	} else {
 		gen := r.gen
 		for gen == r.gen && r.stall == nil {
-			r.cond.Wait()
+			r.wait(p)
 		}
 		if r.stall != nil && gen == r.gen {
 			err := r.stall
@@ -246,6 +297,37 @@ func (r *Reducer) DoAs(p *Proc, slot int, v any, combine func(vals []any) any) a
 	p.AdvanceTo(rel)
 	p.SetPhase(prev)
 	return res
+}
+
+// wait, release, and stallInfo mirror Barrier's engine dispatch for reducer
+// episodes; see the Barrier methods for the locking discipline.
+func (r *Reducer) wait(p *Proc) {
+	if p.ev == nil {
+		r.cond.Wait()
+		return
+	}
+	r.evq = append(r.evq, p.ev)
+	r.mu.Unlock()
+	p.ev.block(r.stallInfo)
+	r.mu.Lock()
+}
+
+func (r *Reducer) release() {
+	for _, ep := range r.evq {
+		ep.wake(r.relT)
+	}
+	r.evq = r.evq[:0]
+	r.cond.Broadcast()
+}
+
+func (r *Reducer) stallInfo() *StallError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stall == nil {
+		r.stall = &StallError{Kind: "reducer", N: r.n,
+			Arrived: append([]int(nil), r.arrived...), Deadline: StallDeadline()}
+	}
+	return r.stall
 }
 
 // armWatchdog starts the stall deadline for the episode that just opened.

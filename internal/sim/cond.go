@@ -1,0 +1,71 @@
+package sim
+
+import "sync"
+
+// Cond is an engine-aware condition variable for model runtimes that need
+// to suspend a processor until another processor changes shared state (a
+// message arrives in a mailbox, a lock is released). Under the goroutine
+// engine it degrades to a plain sync.Cond; under the event engine Wait
+// suspends the processor's continuation so the single scheduler goroutine
+// is never blocked.
+//
+// The zero value is ready to use. All methods must be called with the same
+// lock held that guards the predicate, exactly as with sync.Cond; Wait is
+// handed that lock explicitly because the goroutine path binds its
+// sync.Cond to it lazily.
+//
+// A processor suspended here when the gang can make no further progress is
+// poisoned by the event engine's deadlock detector with a *StallError whose
+// Kind is the Cond's label — a failure mode the goroutine engine cannot
+// surface (a goroutine stuck in sync.Cond.Wait outside any barrier episode
+// simply hangs), so the event engine is strictly more diagnosable here.
+type Cond struct {
+	// Kind labels stall diagnostics for procs suspended on this Cond,
+	// e.g. "mp recv"; empty reads as "wait".
+	Kind string
+	c    *sync.Cond
+	evq  []*evProc
+}
+
+// Wait atomically releases l and suspends p until Broadcast; l is re-held
+// on return. As with sync.Cond, the caller must re-check its predicate in a
+// loop.
+func (c *Cond) Wait(p *Proc, l sync.Locker) {
+	if p.ev != nil {
+		c.evq = append(c.evq, p.ev)
+		l.Unlock()
+		p.ev.block(c.stallInfo)
+		l.Lock()
+		return
+	}
+	if c.c == nil {
+		// First goroutine-engine waiter; l is held, and every Wait call
+		// site holds the same l, so this lazy init cannot race.
+		c.c = sync.NewCond(l)
+	}
+	c.c.Wait()
+}
+
+// Broadcast wakes all suspended processors. Event-engine waiters resume at
+// their own virtual clocks: unlike a barrier release, a state change here
+// imposes no clock merge by itself — the woken processor re-checks its
+// predicate and charges whatever cost its runtime defines.
+func (c *Cond) Broadcast() {
+	for _, ep := range c.evq {
+		ep.wake(ep.p.clock)
+	}
+	c.evq = c.evq[:0]
+	if c.c != nil {
+		c.c.Broadcast()
+	}
+}
+
+// stallInfo synthesizes the poison error for a proc wedged on this Cond.
+// There is no participant roster to report, so N and Arrived stay zero.
+func (c *Cond) stallInfo() *StallError {
+	kind := c.Kind
+	if kind == "" {
+		kind = "wait"
+	}
+	return &StallError{Kind: kind, Deadline: StallDeadline()}
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// The differential engine suite: the event scheduler and the goroutine gang
+// are two implementations of the same Engine contract, so any observable —
+// clocks, phase times, counters, traces, stall diagnostics — must be
+// identical between them. The goroutine engine is the reference; these
+// tests are what lets the event engine be the default.
+
+// gangObservables captures everything a Group exposes after Run.
+type gangObservables struct {
+	Max      Time
+	PhaseMax [NumPhases]Time
+	PhaseAvg [NumPhases]Time
+	Counters Counters
+	Clocks   []Time
+	Traces   [][]Segment
+}
+
+// runOnEngine executes body on a fresh n-proc group under the named engine
+// and snapshots the observables.
+func runOnEngine(t *testing.T, name string, n int, body func(p *Proc)) gangObservables {
+	t.Helper()
+	e, err := EngineByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupOn(e, n)
+	g.EnableTrace()
+	g.Run(body)
+	obs := gangObservables{
+		Max:      g.MaxTime(),
+		PhaseMax: g.MaxPhaseTime(),
+		PhaseAvg: g.AvgPhaseTime(),
+		Counters: g.TotalCounters(),
+		Traces:   g.Traces(),
+	}
+	for i := 0; i < g.Size(); i++ {
+		obs.Clocks = append(obs.Clocks, g.Proc(i).Now())
+	}
+	return obs
+}
+
+// TestEnginesAgreeOnSyntheticGang drives a deliberately irregular episode —
+// rank-skewed compute, phase changes, a penalized barrier, and a reducer —
+// and demands bit-identical observables from both engines.
+func TestEnginesAgreeOnSyntheticGang(t *testing.T) {
+	const n = 7
+	pen := make([]Time, n)
+	for i := range pen {
+		pen[i] = Time(i * 3)
+	}
+	cost := func(n int) Time { return Time(20 * n) }
+	body := func(p *Proc) {
+		b := barrierOf(p)
+		r := reducerOf(p)
+		for round := 0; round < 4; round++ {
+			p.Advance(Time(100 + 17*p.ID() + round))
+			prev := p.SetPhase(PhaseComm)
+			p.Advance(Time(5 * (p.ID() + 1)))
+			p.SetPhase(prev)
+			b.Wait(p)
+			got := r.Do(p, p.ID(), func(vals []any) any {
+				sum := 0
+				for _, v := range vals {
+					sum += v.(int)
+				}
+				return sum
+			})
+			if got.(int) != n*(n-1)/2 {
+				panic(fmt.Sprintf("reduction = %v", got))
+			}
+		}
+	}
+	var want gangObservables
+	for i, name := range EngineNames() {
+		// Rendezvous state must be fresh per engine run but shared across
+		// the gang: allocate per run, hand out via the closure table.
+		b := NewBarrierHook(n, cost, func() []Time { return pen })
+		r := NewReducer(n, cost)
+		setSharedPrimitives(b, r)
+		got := runOnEngine(t, name, n, body)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("engine %q observables diverge:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+	if want.Max == 0 {
+		t.Fatal("synthetic gang did no work")
+	}
+}
+
+// sharedB/sharedR hand fresh rendezvous primitives to the gang body without
+// capturing them in the closure (the body is reused verbatim per engine so
+// the two runs are textually identical work).
+var (
+	sharedB *Barrier
+	sharedR *Reducer
+)
+
+func setSharedPrimitives(b *Barrier, r *Reducer) { sharedB, sharedR = b, r }
+func barrierOf(*Proc) *Barrier                   { return sharedB }
+func reducerOf(*Proc) *Reducer                   { return sharedR }
+
+// TestEnginesAgreeOnStallDiagnostics: a rank that never joins the barrier
+// must produce the same *StallError — kind, membership, missing ranks, and
+// message — whether the goroutine watchdog times out in real time or the
+// event engine proves the stall structurally from an empty event heap.
+func TestEnginesAgreeOnStallDiagnostics(t *testing.T) {
+	prev := SetStallDeadline(50 * time.Millisecond)
+	t.Cleanup(func() { SetStallDeadline(prev) })
+
+	type stallObs struct {
+		rank int
+		se   StallError
+		msg  string
+	}
+	observe := func(name string) stallObs {
+		e, err := EngineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGroupOn(e, 3)
+		b := NewBarrier(3, nil)
+		v := mustPanic(t, func() {
+			g.Run(func(p *Proc) {
+				if p.ID() == 2 {
+					return // never arrives
+				}
+				p.Advance(Time(10 * (p.ID() + 1)))
+				b.Wait(p)
+			})
+		})
+		pp, ok := v.(*ProcPanic)
+		if !ok {
+			t.Fatalf("engine %q: Run re-panicked with %T (%v), want *ProcPanic", name, v, v)
+		}
+		se, ok := pp.Value.(*StallError)
+		if !ok {
+			t.Fatalf("engine %q: panic value %T (%v), want *StallError", name, pp.Value, pp.Value)
+		}
+		// Arrival order is scheduling-dependent under the goroutine engine;
+		// the contract is the set, not the order (Error() sorts too).
+		canon := *se
+		canon.Arrived = append([]int(nil), se.Arrived...)
+		sort.Ints(canon.Arrived)
+		return stallObs{rank: pp.Rank, se: canon, msg: se.Error()}
+	}
+
+	var want stallObs
+	for i, name := range EngineNames() {
+		got := observe(name)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("engine %q stall diagnostics diverge:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+	if want.se.Kind != "barrier" || want.se.N != 3 || len(want.se.Arrived) != 2 {
+		t.Fatalf("stall shape = %+v", want.se)
+	}
+}

@@ -1,0 +1,199 @@
+package sim
+
+import "iter"
+
+// The event engine runs a whole gang inside one goroutine. Each processor
+// body becomes a resumable continuation (iter.Pull coroutine); rendezvous
+// primitives suspend the running continuation instead of blocking an OS
+// thread, and a min-heap of (virtual-time, rank) events decides which
+// processor resumes next. This removes the park/unpark cost that dominates
+// the goroutine gang beyond ~128 procs and makes the schedule itself
+// deterministic: every heap key derives from virtual time, so host load and
+// GOMAXPROCS cannot reorder execution.
+//
+// Liveness differs from the goroutine engine by construction. A wall-clock
+// watchdog makes no sense when nothing ever blocks on the host, so barrier
+// and reducer episodes do not arm timers under this engine. Instead the
+// scheduler detects a stall structurally: if the run queue is empty while
+// unfinished processors remain, every remaining processor is blocked on a
+// rendezvous that can never complete. The scheduler then poisons the blocked
+// processor with the lowest rank — its primitive records the same sticky
+// *StallError the watchdog would have produced (same Kind/N/Arrived fields,
+// Deadline reported as the configured StallDeadline) — and repeats until the
+// gang has unwound. Group.Run therefore surfaces an identical root-cause
+// ProcPanic under both engines, just without waiting out a wall-clock
+// deadline first.
+
+// eventEngine implements Engine with the continuation scheduler.
+type eventEngine struct{}
+
+// EventEngine returns the virtual-time event-scheduler engine (the default).
+func EventEngine() Engine { return eventEngine{} }
+
+func (eventEngine) Name() string { return "event" }
+
+// evProc is one processor's continuation plus its scheduling state.
+type evProc struct {
+	p    *Proc
+	s    *evSched
+	next func() (struct{}, bool) // resume the continuation
+	// yield suspends the continuation; valid only while the body runs.
+	yield func(struct{}) bool
+
+	key     Time // heap key while queued: the virtual time it resumes at
+	blocked bool // suspended in block(), waiting for wake or poison
+	done    bool // body returned (pp records an escaped panic)
+	poison  *StallError
+	// stallInfo is set while blocked: invoked by the scheduler's deadlock
+	// detector, it must mark the primitive the proc is blocked on as stalled
+	// and return the sticky *StallError to poison the proc with.
+	stallInfo func() *StallError
+	pp        *ProcPanic
+}
+
+// block suspends the calling continuation until wake (normal resume) or
+// poison (the deadlock detector chose this proc), in which case it panics
+// with the StallError exactly as a watchdog-fired wait would. The caller
+// must not hold any host lock across block: the whole gang shares one
+// goroutine, so a held lock could never be released while suspended.
+func (ep *evProc) block(info func() *StallError) {
+	ep.blocked = true
+	ep.stallInfo = info
+	if !ep.yield(struct{}{}) {
+		panic("sim: event scheduler stopped mid-run")
+	}
+	ep.blocked = false
+	ep.stallInfo = nil
+	if err := ep.poison; err != nil {
+		ep.poison = nil
+		panic(err)
+	}
+}
+
+// wake schedules a blocked proc to resume at virtual time at. Waking an
+// already-finished proc is a no-op, so primitives may hold stale wait-queue
+// entries from an unwound episode without corrupting the schedule.
+func (ep *evProc) wake(at Time) {
+	if ep.done {
+		return
+	}
+	ep.s.push(ep, at)
+}
+
+// evSched is the per-Run scheduler state: the continuation for every proc
+// and the runnable min-heap ordered by (key, rank). The slices persist on
+// the Group across Runs; the continuations are created fresh each Run.
+type evSched struct {
+	eps  []*evProc
+	heap []*evProc
+}
+
+func evLess(a, b *evProc) bool {
+	return a.key < b.key || (a.key == b.key && a.p.id < b.p.id)
+}
+
+func (s *evSched) push(ep *evProc, key Time) {
+	ep.key = key
+	h := append(s.heap, ep)
+	s.heap = h
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !evLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (s *evSched) pop() *evProc {
+	h := s.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
+	s.heap = h
+	for i := 0; ; {
+		small, l, r := i, 2*i+1, 2*i+2
+		if l < len(h) && evLess(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && evLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+// poisonLowest is the structural deadlock detector: called when the run
+// queue is empty but unfinished procs remain, it picks the blocked proc with
+// the lowest rank, stamps it with the primitive's sticky StallError, and
+// reschedules it so the panic unwinds its body. Lowest-rank-first matches
+// the goroutine engine's deterministic root-cause preference.
+func (s *evSched) poisonLowest() {
+	for _, ep := range s.eps {
+		if ep.blocked {
+			ep.poison = ep.stallInfo()
+			s.push(ep, ep.p.clock)
+			return
+		}
+	}
+	panic("sim: event scheduler: no runnable or blocked procs in a live gang")
+}
+
+func (eventEngine) run(g *Group, body func(*Proc)) {
+	if g.sched == nil {
+		g.sched = &evSched{}
+	}
+	s := g.sched
+	s.eps = s.eps[:0]
+	for _, p := range g.procs {
+		ep := &evProc{p: p, s: s}
+		next, _ := iter.Pull(func(yield func(struct{}) bool) {
+			ep.yield = yield
+			ep.pp = runBody(ep.p, body)
+		})
+		ep.next = next
+		s.eps = append(s.eps, ep)
+	}
+	// Bind every proc to its continuation before any body starts, and always
+	// unbind on the way out so raw (non-Run) uses of Barrier/Reducer on these
+	// procs fall back to host blocking.
+	for _, ep := range s.eps {
+		ep.p.ev = ep
+	}
+	defer func() {
+		for _, ep := range s.eps {
+			ep.p.ev = nil
+		}
+	}()
+	for _, ep := range s.eps {
+		s.push(ep, ep.p.clock)
+	}
+	live := len(s.eps)
+	for live > 0 {
+		if len(s.heap) == 0 {
+			s.poisonLowest()
+		}
+		ep := s.pop()
+		if _, more := ep.next(); !more {
+			ep.done = true
+			live--
+		}
+	}
+	var first *ProcPanic
+	for _, ep := range s.eps {
+		if ep.pp != nil && preferRootCause(ep.pp, first) {
+			first = ep.pp
+		}
+	}
+	if first != nil {
+		panic(first)
+	}
+}

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
 	"runtime/debug"
 )
 
@@ -66,14 +65,20 @@ func (c *Counters) Add(other *Counters) {
 
 // Proc is one simulated processor: a private virtual clock plus per-phase
 // time attribution and event counters. A Proc is owned by exactly one
-// goroutine for the duration of a Group.Run; its methods are not safe for
-// concurrent use by multiple goroutines.
+// execution context (worker goroutine or scheduled continuation, depending
+// on the Group's Engine) for the duration of a Group.Run; its methods are
+// not safe for concurrent use by multiple goroutines.
 type Proc struct {
 	id        int
 	clock     Time
 	phase     Phase
 	phaseTime [NumPhases]Time
 	Counters
+
+	// ev binds the proc to its continuation while an event-engine Run is in
+	// flight (nil otherwise). Rendezvous primitives dispatch on it: nil means
+	// host blocking, non-nil means suspend the continuation.
+	ev *evProc
 
 	// Optional phase-timeline tracing (see Group.EnableTrace).
 	tracing  bool
@@ -138,54 +143,45 @@ func (p *Proc) PhaseTime(ph Phase) Time { return p.phaseTime[ph] }
 // PhaseTimes returns a copy of all per-phase accumulations.
 func (p *Proc) PhaseTimes() [NumPhases]Time { return p.phaseTime }
 
-// Group is a gang of simulated processors that execute one SPMD program.
-//
-// The gang's worker goroutines are created lazily on the first Run and
-// persist across Run calls: experiments invoke Run once per adaptation cycle
-// or time step, and respawning P goroutines per region was measurable
-// scheduler churn. The workers hold no reference to the Group itself — only
-// to their Proc and channels — so an abandoned Group is collected normally;
-// a runtime cleanup closes the work channels and the workers exit.
+// Group is a gang of simulated processors that execute one SPMD program
+// under a fixed Engine (see engine.go for the execution strategies).
 type Group struct {
 	procs []*Proc
-	work  []chan func(*Proc) // one channel per worker; nil until first Run
-	res   chan *ProcPanic    // completion per worker per Run (nil = clean)
+	eng   Engine
+
+	// Goroutine-engine gang state (nil until its first Run; see engine.go).
+	work []chan func(*Proc) // one channel per worker
+	res  chan *ProcPanic    // completion per worker per Run (nil = clean)
+
+	// Event-engine scheduler state, reused across Runs (see event.go).
+	sched *evSched
 }
 
-// NewGroup creates n processors with zeroed clocks, ranked 0..n-1.
+// NewGroup creates n processors with zeroed clocks, ranked 0..n-1, running
+// under the process-wide default engine (see SetDefaultEngine).
 func NewGroup(n int) *Group {
+	return NewGroupOn(DefaultEngine(), n)
+}
+
+// NewGroupOn is NewGroup with an explicit engine, pinning the group to e
+// regardless of later SetDefaultEngine calls — the hook differential tests
+// use to run the same program under both engines side by side.
+func NewGroupOn(e Engine, n int) *Group {
 	if n <= 0 {
 		panic("sim: group size must be positive")
 	}
-	g := &Group{procs: make([]*Proc, n)}
+	if e == nil {
+		panic("sim: nil engine")
+	}
+	g := &Group{procs: make([]*Proc, n), eng: e}
 	for i := range g.procs {
 		g.procs[i] = &Proc{id: i}
 	}
 	return g
 }
 
-// start spawns the persistent worker gang.
-func (g *Group) start() {
-	g.res = make(chan *ProcPanic, len(g.procs))
-	g.work = make([]chan func(*Proc), len(g.procs))
-	for i, p := range g.procs {
-		ch := make(chan func(*Proc))
-		g.work[i] = ch
-		go gangWorker(p, ch, g.res)
-	}
-	runtime.AddCleanup(g, func(work []chan func(*Proc)) {
-		for _, ch := range work {
-			close(ch)
-		}
-	}, g.work)
-}
-
-// gangWorker executes bodies for one processor until its channel closes.
-func gangWorker(p *Proc, work <-chan func(*Proc), res chan<- *ProcPanic) {
-	for body := range work {
-		res <- runBody(p, body)
-	}
-}
+// Engine returns the engine this group executes under.
+func (g *Group) Engine() Engine { return g.eng }
 
 // runBody runs body on p, converting an escaped panic into a *ProcPanic.
 func runBody(p *Proc, body func(*Proc)) (pp *ProcPanic) {
@@ -227,41 +223,21 @@ func (e *ProcPanic) Unwrap() error {
 	return nil
 }
 
-// Run executes body once per processor, each on its own worker goroutine,
-// and returns when all have finished. This is the SPMD entry point: body
-// receives the Proc it owns and may use it with any of the model runtimes.
-// Run is not safe for concurrent use on the same Group (the Procs are
-// single-owner); sequential Runs reuse the persistent gang.
+// Run executes body once per processor under the group's engine and returns
+// when all have finished. This is the SPMD entry point: body receives the
+// Proc it owns and may use it with any of the model runtimes. Run is not
+// safe for concurrent use on the same Group (the Procs are single-owner);
+// sequential Runs reuse the engine's per-group state.
 //
 // If any body panics, Run waits for the rest of the gang to unwind (the
-// barrier/reducer stall watchdog guarantees participants blocked on the dead
-// rank do so within StallDeadline) and then re-panics with a *ProcPanic on
-// the calling goroutine. When several processors panic, the root cause is
-// preferred deterministically: a non-stall panic beats a StallError (stalls
-// are downstream symptoms), then the lowest rank wins.
+// stall watchdog under the goroutine engine, or the event scheduler's
+// structural deadlock detection, guarantees participants blocked on the dead
+// rank do so) and then re-panics with a *ProcPanic on the calling goroutine.
+// When several processors panic, the root cause is preferred
+// deterministically: a non-stall panic beats a StallError (stalls are
+// downstream symptoms), then the lowest rank wins.
 func (g *Group) Run(body func(p *Proc)) {
-	if g.work == nil {
-		g.start()
-	}
-	for _, ch := range g.work {
-		ch <- body
-	}
-	var first *ProcPanic
-	isStall := func(v any) bool { _, ok := v.(*StallError); return ok }
-	for range g.procs {
-		pp := <-g.res
-		if pp == nil {
-			continue
-		}
-		if first == nil ||
-			(isStall(first.Value) && !isStall(pp.Value)) ||
-			(isStall(first.Value) == isStall(pp.Value) && pp.Rank < first.Rank) {
-			first = pp
-		}
-	}
-	if first != nil {
-		panic(first)
-	}
+	g.eng.run(g, body)
 }
 
 // MaxTime returns the latest virtual clock in the group — the simulated

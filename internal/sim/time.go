@@ -1,14 +1,20 @@
-// Package sim provides the deterministic virtual-time engine that underlies
+// Package sim provides the deterministic virtual-time core that underlies
 // every programming-model runtime in this repository.
 //
-// Each simulated processor runs as its own goroutine and carries a private
-// virtual clock. Computation advances only the local clock; communication and
-// synchronization events merge clocks conservatively (a receive cannot
-// complete before the matching send has been issued in virtual time, a
-// barrier releases everyone at the maximum entry time plus the barrier cost,
-// and so on). Because costs are derived exclusively from each processor's own
-// instruction stream plus synchronization-ordered events, the resulting
-// virtual times are bit-for-bit reproducible across runs and host machines.
+// Each simulated processor carries a private virtual clock. Computation
+// advances only the local clock; communication and synchronization events
+// merge clocks conservatively (a receive cannot complete before the matching
+// send has been issued in virtual time, a barrier releases everyone at the
+// maximum entry time plus the barrier cost, and so on). Because costs are
+// derived exclusively from each processor's own instruction stream plus
+// synchronization-ordered events, the resulting virtual times are
+// bit-for-bit reproducible across runs and host machines.
+//
+// How the processors are multiplexed onto the host is a separate, pluggable
+// concern: an Engine (see engine.go) executes the gang either as resumable
+// continuations under a single-threaded virtual-time event scheduler (the
+// default) or as one goroutine per processor. Both engines produce
+// identical simulation results.
 package sim
 
 import "fmt"
