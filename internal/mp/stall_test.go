@@ -1,0 +1,50 @@
+package mp
+
+import (
+	"testing"
+
+	"o2k/internal/machine"
+	"o2k/internal/sim"
+)
+
+// TestRecvDeadlockStallDiagnostics: a Recv whose matching Send never comes is
+// the Cond-flavored stall — no barrier episode, no participant roster, just a
+// proc suspended on a mailbox that can never fill. It mirrors the barrier
+// case in sim's TestEnginesAgreeOnStallDiagnostics, but only on the event
+// engine: under the goroutine engine a proc stuck in sync.Cond.Wait outside
+// any barrier episode simply hangs (no watchdog covers it), so there is no
+// goroutine-side behavior to compare against. The test pins two things: the
+// structural detector diagnoses the deadlock as a *StallError with the
+// mailbox's "mp recv" kind on the lowest blocked rank, and the poison
+// unwinds through mailbox.take's deferred mutex unlock as an ordinary
+// *ProcPanic rather than a "sync: unlock of unlocked mutex" runtime fatal
+// that would abort the whole process.
+func TestRecvDeadlockStallDiagnostics(t *testing.T) {
+	m := machine.MustNew(machine.Default(2))
+	w := NewWorld(m)
+	g := sim.NewGroupOn(sim.EventEngine(), 2)
+	var v any
+	func() {
+		defer func() { v = recover() }()
+		g.Run(func(p *sim.Proc) {
+			r := w.Rank(p)
+			if r.ID() == 0 {
+				Recv[int](r, 1, 0) // rank 1 never sends
+			}
+		})
+	}()
+	pp, ok := v.(*sim.ProcPanic)
+	if !ok {
+		t.Fatalf("Run re-panicked with %T (%v), want *ProcPanic", v, v)
+	}
+	se, ok := pp.Value.(*sim.StallError)
+	if !ok {
+		t.Fatalf("panic value %T (%v), want *StallError", pp.Value, pp.Value)
+	}
+	if pp.Rank != 0 || se.Kind != "mp recv" {
+		t.Fatalf("stall = rank %d kind %q, want rank 0 kind %q", pp.Rank, se.Kind, "mp recv")
+	}
+	if se.N != 0 || len(se.Arrived) != 0 {
+		t.Fatalf("mailbox stall should carry no roster, got N=%d arrived=%v", se.N, se.Arrived)
+	}
+}

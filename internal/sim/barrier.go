@@ -151,7 +151,8 @@ func (b *Barrier) Wait(p *Proc) {
 // wait suspends p until the open episode completes or stalls. b.mu is held
 // at entry and exit. Goroutine-engine procs block on the condition variable;
 // event-engine procs suspend their continuation, dropping b.mu first because
-// the whole gang shares one goroutine.
+// the whole gang shares one goroutine. A poisoned proc panics with b.mu
+// released, exactly like the watchdog path in Wait.
 func (b *Barrier) wait(p *Proc) {
 	if p.ev == nil {
 		b.cond.Wait()
@@ -159,7 +160,9 @@ func (b *Barrier) wait(p *Proc) {
 	}
 	b.evq = append(b.evq, p.ev)
 	b.mu.Unlock()
-	p.ev.block(b.stallInfo)
+	if err := p.ev.block(b.stallInfo); err != nil {
+		panic(err)
+	}
 	b.mu.Lock()
 }
 
@@ -308,7 +311,9 @@ func (r *Reducer) wait(p *Proc) {
 	}
 	r.evq = append(r.evq, p.ev)
 	r.mu.Unlock()
-	p.ev.block(r.stallInfo)
+	if err := p.ev.block(r.stallInfo); err != nil {
+		panic(err)
+	}
 	r.mu.Lock()
 }
 

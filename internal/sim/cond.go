@@ -34,8 +34,15 @@ func (c *Cond) Wait(p *Proc, l sync.Locker) {
 	if p.ev != nil {
 		c.evq = append(c.evq, p.ev)
 		l.Unlock()
-		p.ev.block(c.stallInfo)
+		err := p.ev.block(c.stallInfo)
+		// Re-acquire l before unwinding a poisoned proc: callers hold l
+		// across Wait (typically with a deferred Unlock), so panicking
+		// unlocked would turn the stall diagnostic into an unrecoverable
+		// "unlock of unlocked mutex" runtime fatal.
 		l.Lock()
+		if err != nil {
+			panic(err)
+		}
 		return
 	}
 	if c.c == nil {

@@ -51,12 +51,17 @@ type evProc struct {
 	pp        *ProcPanic
 }
 
-// block suspends the calling continuation until wake (normal resume) or
-// poison (the deadlock detector chose this proc), in which case it panics
-// with the StallError exactly as a watchdog-fired wait would. The caller
-// must not hold any host lock across block: the whole gang shares one
-// goroutine, so a held lock could never be released while suspended.
-func (ep *evProc) block(info func() *StallError) {
+// block suspends the calling continuation until wake (normal resume, nil
+// return) or poison (the deadlock detector chose this proc), in which case
+// the StallError is returned for the caller to panic with. Returning rather
+// than panicking here lets each primitive restore its own lock invariant
+// first: Cond.Wait must re-acquire the caller's mutex before unwinding (its
+// callers hold it across Wait with a deferred Unlock), while Barrier and
+// Reducer deliberately panic with their mutex released, matching the
+// watchdog-fired path. The caller must not hold any host lock across block:
+// the whole gang shares one goroutine, so a held lock could never be
+// released while suspended.
+func (ep *evProc) block(info func() *StallError) *StallError {
 	ep.blocked = true
 	ep.stallInfo = info
 	if !ep.yield(struct{}{}) {
@@ -66,8 +71,9 @@ func (ep *evProc) block(info func() *StallError) {
 	ep.stallInfo = nil
 	if err := ep.poison; err != nil {
 		ep.poison = nil
-		panic(err)
+		return err
 	}
+	return nil
 }
 
 // wake schedules a blocked proc to resume at virtual time at. Waking an
