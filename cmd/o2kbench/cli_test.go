@@ -75,7 +75,7 @@ func TestCLICacheMaintenanceExitCodes(t *testing.T) {
 	// it, and a second verify is clean again.
 	var victim string
 	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-		if err == nil && !d.IsDir() && victim == "" && filepath.Ext(path) == ".json" {
+		if err == nil && !d.IsDir() && victim == "" && filepath.Ext(path) == ".cell" {
 			victim = path
 		}
 		return nil

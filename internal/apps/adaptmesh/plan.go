@@ -1,7 +1,7 @@
 package adaptmesh
 
 import (
-	"sort"
+	"slices"
 
 	"o2k/internal/mesh"
 	"o2k/internal/partition"
@@ -60,81 +60,101 @@ type CyclePlan struct {
 
 // BuildPlans runs the structural side of the whole experiment: Cycles
 // adaptations of the forest, each partitioned for nprocs processors, with
-// migration/interpolation schedules chained cycle to cycle.
+// migration/interpolation schedules chained cycle to cycle. It is the
+// one-shot convenience over the two-stage BuildStructure/Plans split the
+// plan cache uses (see structure.go): the adaptation sequence is computed
+// once per workload and the per-processor-count partitioning is derived from
+// it, with bit-identical results either way.
 func BuildPlans(w Workload, nprocs int) []*CyclePlan {
-	f := mesh.NewUnitSquare(w.GridN, w.MaxLevel)
-	plans := make([]*CyclePlan, 0, w.Cycles)
+	return BuildStructure(w).Plans(nprocs, w.NoRemap)
+}
+
+// Plans derives the cycle plans for nprocs processors from the adaptation
+// structure: RCB over each cycle's centroids, the PLUM remap against the
+// previous cycle's owners, then the shared derivation in planCycle.
+func (st *Structure) Plans(nprocs int, noRemap bool) []*CyclePlan {
+	plans := make([]*CyclePlan, 0, len(st.Cycles))
 	var prev *CyclePlan
-	for c := 0; c < w.Cycles; c++ {
-		step := c
-		if w.StaticMesh {
-			step = 0
+	for c, sc := range st.Cycles {
+		m := sc.M
+		nt := m.NumTris()
+		xs := make([]float64, nt)
+		ys := make([]float64, nt)
+		wt := make([]float64, nt)
+		for t := 0; t < nt; t++ {
+			xs[t], ys[t] = m.Centroid(t)
+			wt[t] = 1
 		}
-		st := f.Adapt(w.indicatorAt(step))
-		m := f.Snapshot()
-		p := buildCycle(f, m, st, c, nprocs, prev, w.NoRemap)
+		part := partition.RCB(xs, ys, wt, nprocs)
+
+		// PLUM remap: similarity between the new parts and the previous
+		// owners.
+		assign := partition.IdentityAssign(nprocs)
+		var remap partition.RemapStats
+		if prev != nil {
+			oldOwner := make([]int32, nt)
+			for t := 0; t < nt; t++ {
+				oldOwner[t] = st.ancestorOwner(prev, m.Tris[t][0])
+			}
+			if noRemap {
+				remap = partition.MigrationStats(oldOwner, part, wt, assign, nprocs)
+			} else {
+				assign, remap = partition.Remap(oldOwner, part, wt, nprocs)
+			}
+		}
+		triOwner := make([]int32, nt)
+		for t := 0; t < nt; t++ {
+			triOwner[t] = assign[part[t]]
+		}
+		p := st.planCycle(c, partition.NewDecomp(m, triOwner, nprocs), remap, nprocs, prev)
 		plans = append(plans, p)
 		prev = p
 	}
 	return plans
 }
 
-func buildCycle(f *mesh.Forest, m *mesh.Mesh, st mesh.AdaptStats, cycle, nprocs int, prev *CyclePlan, noRemap bool) *CyclePlan {
-	nt := m.NumTris()
-	xs := make([]float64, nt)
-	ys := make([]float64, nt)
-	wt := make([]float64, nt)
-	for t := 0; t < nt; t++ {
-		xs[t], ys[t] = m.Centroid(t)
-		wt[t] = 1
-	}
-	part := partition.RCB(xs, ys, wt, nprocs)
-
+// planCycle derives one cycle's full plan from its decomposition and remap
+// statistics — everything downstream of the partitioning decision is
+// deterministic in (structure, triangle owners), which is why the plan cache
+// can store just the owner vector and replay this derivation on warm runs
+// (the decomposition itself is rebuilt by the decoder, so it is taken here
+// instead of recomputed).
+func (st *Structure) planCycle(cycle int, dec *partition.Decomp, remap partition.RemapStats, nprocs int, prev *CyclePlan) *CyclePlan {
+	sc := st.Cycles[cycle]
+	m := sc.M
+	nv := m.NumVertsTotal()
 	p := &CyclePlan{
 		Step:  cycle,
 		M:     m,
-		Stats: st,
-		NV:    m.NumVertsTotal(),
-		MidA:  f.MidA,
-		MidB:  f.MidB,
+		Stats: sc.Stats,
+		NV:    nv,
+		MidA:  st.MidA[:nv],
+		MidB:  st.MidB[:nv],
+		Remap: remap,
 	}
 	for _, g := range m.Green {
 		if g {
 			p.Green++
 		}
 	}
-
-	// PLUM remap: similarity between the new parts and the previous owners.
-	assign := partition.IdentityAssign(nprocs)
-	if prev != nil {
-		oldOwner := make([]int32, nt)
-		for t := 0; t < nt; t++ {
-			oldOwner[t] = ancestorOwner(f, prev, m.Tris[t][0])
-		}
-		if noRemap {
-			p.Remap = partition.MigrationStats(oldOwner, part, wt, assign, nprocs)
-		} else {
-			assign, p.Remap = partition.Remap(oldOwner, part, wt, nprocs)
-		}
-	}
-	triOwner := make([]int32, nt)
-	for t := 0; t < nt; t++ {
-		triOwner[t] = assign[part[t]]
-	}
-	p.Dec = partition.NewDecomp(m, triOwner, nprocs)
+	p.Dec = dec
 	p.Deg = solver.Degrees(m)
-	p.Imbalance = partition.Imbalance(triOwner, wt, nprocs)
+	wt := make([]float64, len(dec.TriOwner))
+	for t := range wt {
+		wt[t] = 1
+	}
+	p.Imbalance = partition.Imbalance(dec.TriOwner, wt, nprocs)
 
 	if prev != nil {
 		p.PrevOwner = prev.Dec.VertOwner
 	}
-	p.Changes = 4*st.Refined + 4*st.Coarsened + p.Green
+	p.Changes = 4*sc.Stats.Refined + 4*sc.Stats.Coarsened + p.Green
 	p.MarkWork = make([]int, nprocs)
 	for q := 0; q < nprocs; q++ {
 		if prev != nil {
 			p.MarkWork[q] = len(prev.Dec.OwnedTris[q])
 		} else {
-			p.MarkWork[q] = (f.BaseTris() + nprocs - 1) / nprocs
+			p.MarkWork[q] = (st.BaseTris + nprocs - 1) / nprocs
 		}
 	}
 	p.buildMigration(nprocs)
@@ -145,14 +165,14 @@ func buildCycle(f *mesh.Forest, m *mesh.Mesh, st mesh.AdaptStats, cycle, nprocs 
 // ancestorOwner walks v's parent chain until a vertex that was used in the
 // previous cycle, returning its previous owner — the "where did this region
 // live" proxy the remapper's similarity matrix needs.
-func ancestorOwner(f *mesh.Forest, prev *CyclePlan, v int32) int32 {
+func (st *Structure) ancestorOwner(prev *CyclePlan, v int32) int32 {
 	for {
 		if int(v) < len(prev.Dec.VertOwner) {
 			if o := prev.Dec.VertOwner[v]; o >= 0 {
 				return o
 			}
 		}
-		a := f.MidA[v]
+		a := st.MidA[v]
 		if a < 0 {
 			return 0 // base vertex never used: cannot happen, but stay total
 		}
@@ -195,14 +215,19 @@ func (p *CyclePlan) buildMigration(nprocs int) {
 	if p.PrevOwner == nil {
 		return // cycle 0: analytic initialization, nothing to migrate
 	}
-	type pair = [2]int32
-	sent := make(map[pair]bool) // (dst, vid) already scheduled
+	// sent[vid] is the last dst that scheduled vid; the dst loop ascends, so
+	// a stamp array replaces a (dst, vid) set without any clearing.
+	sent := make([]int32, p.NV)
+	for i := range sent {
+		sent[i] = -1
+	}
 	var leaves []int32
 	for dst := 0; dst < nprocs; dst++ {
+		d32 := int32(dst)
 		for _, v := range p.Dec.OwnedVerts[dst] {
 			if src := p.prevOwnerOf(v); src >= 0 {
-				if !sent[pair{int32(dst), v}] {
-					sent[pair{int32(dst), v}] = true
+				if sent[v] != d32 {
+					sent[v] = d32
 					if int(src) == dst {
 						p.LocalKeep[dst] = append(p.LocalKeep[dst], v)
 					} else {
@@ -214,10 +239,10 @@ func (p *CyclePlan) buildMigration(nprocs int) {
 			p.InterpOwned[dst] = append(p.InterpOwned[dst], v)
 			leaves = p.expandLeaves(v, leaves[:0])
 			for _, lv := range leaves {
-				if sent[pair{int32(dst), lv}] {
+				if sent[lv] == d32 {
 					continue
 				}
-				sent[pair{int32(dst), lv}] = true
+				sent[lv] = d32
 				src := p.prevOwnerOf(lv)
 				if int(src) == dst {
 					p.LocalKeep[dst] = append(p.LocalKeep[dst], lv)
@@ -266,7 +291,10 @@ func (p *CyclePlan) buildClearLists(nprocs int) {
 }
 
 func sortAsc(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// The values are plain int32 IDs (no tie-broken satellite data), so any
+	// sorting algorithm yields identical bytes; slices.Sort avoids the
+	// interface indirection of sort.Slice on the warm-path derivation.
+	slices.Sort(s)
 }
 
 // InterpValue computes the field value of (possibly new) vertex v from the

@@ -18,9 +18,19 @@
 package cg
 
 import (
+	"fmt"
+
 	"o2k/internal/mesh"
 	"o2k/internal/partition"
+	"o2k/internal/planio"
 	"o2k/internal/solver"
+)
+
+// Schema strings versioning the persistent plan-cache payloads for this app;
+// they are folded into the cache keys, so a format change retires old entries.
+const (
+	MeshSchema = "o2kcgmesh/1"
+	PlanSchema = "o2kcgplan/1"
 )
 
 // Workload parameterizes the CG experiment.
@@ -54,11 +64,24 @@ type Plan struct {
 }
 
 // BuildPlan constructs the mesh, partitions it, and precomputes the
-// communication lists for nprocs processors.
+// communication lists for nprocs processors. It is the one-shot convenience
+// over the BuildMesh/PlanForMesh split the plan cache uses, with bit-identical
+// results either way.
 func BuildPlan(w Workload, nprocs int) *Plan {
+	return PlanForMesh(w, BuildMesh(w), nprocs)
+}
+
+// BuildMesh constructs the refined snapshot — the processor-count-independent
+// half of plan construction, shared by every P of a scaling sweep.
+func BuildMesh(w Workload) *mesh.Mesh {
 	f := mesh.NewUnitSquare(w.GridN, w.MaxLevel)
 	f.Adapt(mesh.DefaultFront(w.MaxLevel).At(0))
-	m := f.Snapshot()
+	return f.Snapshot()
+}
+
+// PlanForMesh partitions snapshot m for nprocs processors and derives the
+// full plan.
+func PlanForMesh(w Workload, m *mesh.Mesh, nprocs int) *Plan {
 	nt := m.NumTris()
 	xs := make([]float64, nt)
 	ys := make([]float64, nt)
@@ -68,7 +91,15 @@ func BuildPlan(w Workload, nprocs int) *Plan {
 		wt[t] = 1
 	}
 	dec := partition.NewDecomp(m, partition.RCB(xs, ys, wt, nprocs), nprocs)
+	return planFromDecomp(w, m, dec)
+}
 
+// planFromDecomp derives the full plan from a decomposition — everything
+// downstream of the partitioning decision is deterministic in (mesh, owner),
+// which is why the plan cache stores just the owner vector and replays this
+// derivation on warm runs.
+func planFromDecomp(w Workload, m *mesh.Mesh, dec *partition.Decomp) *Plan {
+	nprocs := dec.P
 	p := &Plan{
 		M:   m,
 		Dec: dec,
@@ -107,6 +138,47 @@ func BuildPlan(w Workload, nprocs int) *Plan {
 		}
 	}
 	return p
+}
+
+// EncodePlan serializes the per-processor-count half of a plan: the
+// partitioning decision the rest is derived from.
+//
+//	o2kcgplan 1
+//	<decomp>
+func EncodePlan(p *Plan) []byte {
+	var pw planio.Writer
+	pw.Word("o2kcgplan")
+	pw.Int(1)
+	pw.End()
+	p.Dec.AppendTo(&pw)
+	return pw.Bytes()
+}
+
+// DecodePlan rebuilds a plan from EncodePlan output by replaying the
+// derivation against snapshot m. Any mismatch with the mesh or the requested
+// processor count is an error, which the cache layer converts into a
+// recomputation.
+func DecodePlan(data []byte, w Workload, m *mesh.Mesh, nprocs int) (*Plan, error) {
+	s := planio.NewScanner(data)
+	s.Expect("o2kcgplan")
+	if v := s.Int(); s.Err() == nil && v != 1 {
+		return nil, fmt.Errorf("cg: unsupported plan version %d", v)
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	dec, err := partition.DecodeDecompFrom(s, m)
+	if err != nil {
+		return nil, err
+	}
+	if dec.P != nprocs {
+		return nil, fmt.Errorf("cg: plan entry is for P=%d, want P=%d", dec.P, nprocs)
+	}
+	s.Done()
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return planFromDecomp(w, m, dec), nil
 }
 
 func sortAsc(s []int32) {

@@ -6,7 +6,6 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -66,14 +65,18 @@ func TestWarmCacheByteIdentity(t *testing.T) {
 		if warmRep.Disk == nil || warmRep.Disk.Corrupt != 0 || warmRep.Disk.Stale != 0 {
 			t.Fatalf("warm run at -jobs %d reported damage: %+v", jobs, warmRep.Disk)
 		}
-		// Every metrics cell must come from disk: the only cells computed
-		// on a warm run are the memory-only plan cells.
+		// Every persisted cell — metrics and plan tier alike — must come
+		// from disk; the only cells computed on a warm run are the
+		// memory-only n-body per-P plan derivations (no codec, Kind "").
 		if warmRep.DiskHits == 0 {
 			t.Fatalf("warm run at -jobs %d served nothing from disk", jobs)
 		}
+		if warmRep.PlanDiskHits == 0 {
+			t.Fatalf("warm run at -jobs %d served no plan cells from disk", jobs)
+		}
 		for _, c := range warmRep.Cells {
-			if !c.FromDisk && !strings.Contains(c.Label, "plan") {
-				t.Fatalf("warm run at -jobs %d recomputed metrics cell %q", jobs, c.Label)
+			if !c.FromDisk && c.Kind != "" {
+				t.Fatalf("warm run at -jobs %d recomputed persisted cell %q", jobs, c.Label)
 			}
 		}
 	}
@@ -162,6 +165,57 @@ func TestCacheFaultsPreserveBytes(t *testing.T) {
 	})
 }
 
+// The point of keying plan cells on (workload, P) and never on machine
+// timing constants: fig12's four machine classes differ only in latency and
+// bandwidth numbers, so all four share ONE structure cell and ONE plan cell.
+func TestFig12MachinePresetsShareOnePlanCell(t *testing.T) {
+	o := QuickOpts()
+	dir := t.TempDir()
+
+	e := runner.New(2)
+	e.SetCache(openCache(t, dir))
+	if _, err := RunOn(e, "machine-sweep", o); err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Report()
+	plan, persisted := 0, 0
+	for _, c := range rep.Cells {
+		if c.Kind != "" {
+			persisted++
+		}
+		if c.Kind == "plan" {
+			plan++
+		}
+	}
+	// Four presets × three models ran, but the mesh workload needs exactly
+	// two plan-tier cells: the adaptation structure and the P-specific
+	// partitioning decisions.
+	if plan != 2 {
+		t.Fatalf("machine sweep created %d plan cells, want 2 (structure + plans)", plan)
+	}
+	if rep.PlanCells != plan {
+		t.Fatalf("report counts %d plan cells, cells list has %d", rep.PlanCells, plan)
+	}
+	// Disk holds one entry per persisted cell — nothing was stored twice
+	// under different machine constants.
+	if got := countEntries(t, dir); got != persisted {
+		t.Fatalf("disk has %d entries, report persisted %d cells", got, persisted)
+	}
+
+	// A second sweep over the same presets serves both plan cells from disk.
+	e2 := runner.New(2)
+	e2.SetCache(openCache(t, dir))
+	if _, err := RunOn(e2, "machine-sweep", o); err != nil {
+		t.Fatal(err)
+	}
+	if rep2 := e2.Report(); rep2.PlanDiskHits != 2 {
+		t.Fatalf("warm sweep served %d plan cells from disk, want 2", rep2.PlanDiskHits)
+	}
+	if got := countEntries(t, dir); got != persisted {
+		t.Fatalf("warm sweep changed the entry count: %d != %d", countEntries(t, dir), got)
+	}
+}
+
 // childEnvDir is the env hook TestMain uses to run the sweep-child mode:
 // the test binary re-executed as a separate process that fills the given
 // cache directory until it is SIGKILLed.
@@ -193,7 +247,7 @@ func countEntries(t *testing.T, dir string) int {
 	t.Helper()
 	n := 0
 	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".cell" {
 			n++
 		}
 		return nil

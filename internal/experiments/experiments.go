@@ -165,6 +165,14 @@ func buildTable1(e *runner.Engine, o Opts) *core.Table {
 		func() { nbPlans, nbErr = e.NBodyPlans(o.NBodyW, 1) },
 		func() { cgPl, cgErr = e.CGPlan(o.CGW, 1) },
 	)
+	// A zero-cycle/zero-step workload yields an empty plan sequence; render
+	// it as a failure row instead of dividing by len() == 0 below.
+	if meshErr == nil && len(meshPlans) == 0 {
+		meshErr = fmt.Errorf("empty plan sequence (Cycles=%d)", o.MeshW.Cycles)
+	}
+	if nbErr == nil && len(nbPlans) == 0 {
+		nbErr = fmt.Errorf("empty plan sequence (Steps=%d)", o.NBodyW.Steps)
+	}
 	if meshErr != nil {
 		t.AddRow("adaptive mesh", runner.FailLabel(meshErr), "", "", "", "")
 	} else {

@@ -85,6 +85,33 @@ func TestVerdictsFlagFailedEvidence(t *testing.T) {
 	}
 }
 
+// A workload with zero adaptation cycles / zero time steps yields empty plan
+// sequences; Table 1 must degrade those rows to FAILED(...) instead of
+// panicking on the len()-divisions in its averages.
+func TestTable1EmptyPlansDegradeToFailedRows(t *testing.T) {
+	o := QuickOpts()
+	o.MeshW.Cycles = 0
+	o.NBodyW.Steps = 0
+	tb := buildTable1(runner.New(1), o)
+	rows := map[string][]string{}
+	for _, r := range tb.Rows {
+		rows[r[0]] = r
+	}
+	for _, app := range []string{"adaptive mesh", "barnes-hut n-body"} {
+		r, ok := rows[app]
+		if !ok {
+			t.Fatalf("table 1 lost the %q row: %v", app, tb.Rows)
+		}
+		if !strings.Contains(r[1], "FAILED(") || !strings.Contains(r[1], "empty plan sequence") {
+			t.Fatalf("%s row = %q, want FAILED(empty plan sequence ...)", app, r[1])
+		}
+	}
+	// The healthy rows still render normally.
+	if r := rows["conjugate gradient"]; strings.Contains(r[1], "FAILED") {
+		t.Fatalf("cg row degraded: %v", r)
+	}
+}
+
 func TestBuildSafeRecoversBuilderPanic(t *testing.T) {
 	s := Spec{Name: "boom", Title: "panicking builder",
 		Build: func(*runner.Engine, Opts) *core.Table { panic("kaboom") }}

@@ -11,11 +11,30 @@ package mesh
 //
 // Encoding compacts vertex IDs (a snapshot's global ID space has unused
 // holes); Decode rebuilds the edge structure and validates the result.
+//
+// Version 2 (EncodeGlobal/DecodeGlobal) preserves the *global* vertex-ID
+// space instead of compacting it: the persistent plan cache stores snapshots
+// whose IDs must keep indexing the forest-wide field arrays (MidA/MidB
+// parent chains, per-vertex degrees, solver fields), so holes — vertices the
+// snapshot does not use — are kept in place. It also keeps the Leaf column,
+// so a decoded snapshot is reflect.DeepEqual to the encoded one:
+//
+//	o2kmesh 2
+//	verts <nv>
+//	<x> <y>                         (nv lines, all global IDs, holes included)
+//	tris <m>
+//	<a> <b> <c> <level> <green> <leaf>
+//
+// Floats use shortest-round-trip formatting (bit-exact). Decoding is total:
+// any malformed or out-of-range token returns an error, never panics — the
+// cache layer treats a decode error as a corrupt entry and recomputes.
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+
+	"o2k/internal/planio"
 )
 
 // Encode writes snapshot m in the o2kmesh text format.
@@ -94,6 +113,213 @@ func Decode(r io.Reader) (*Mesh, error) {
 	}
 	m.buildEdges()
 	return m, nil
+}
+
+// EncodeGlobal writes snapshot m in the version-2 global-ID text format.
+func (m *Mesh) EncodeGlobal(w io.Writer) error {
+	var pw planio.Writer
+	m.AppendGlobal(&pw)
+	_, err := w.Write(pw.Bytes())
+	return err
+}
+
+// AppendGlobal appends the version-2 encoding of m to pw (for codecs that
+// embed a snapshot inside a larger payload).
+func (m *Mesh) AppendGlobal(pw *planio.Writer) {
+	pw.Word("o2kmesh")
+	pw.Int(2)
+	pw.End()
+	pw.Word("verts")
+	pw.Int(len(m.VX))
+	pw.End()
+	AppendVerts(pw, m.VX, m.VY)
+	pw.Word("tris")
+	pw.Int(len(m.Tris))
+	pw.End()
+	m.AppendTris(pw)
+}
+
+// AppendVerts writes the coordinate table: one "<x> <y>" line per global ID.
+func AppendVerts(pw *planio.Writer, vx, vy []float64) {
+	for v := range vx {
+		pw.Float(vx[v])
+		pw.Float(vy[v])
+		pw.End()
+	}
+}
+
+// DecodeVerts reads an n-entry coordinate table written by AppendVerts.
+func DecodeVerts(s *planio.Scanner, n int) (vx, vy []float64, err error) {
+	vx = make([]float64, n)
+	vy = make([]float64, n)
+	for v := 0; v < n; v++ {
+		vx[v] = s.Float()
+		vy[v] = s.Float()
+	}
+	if err := s.Err(); err != nil {
+		return nil, nil, err
+	}
+	return vx, vy, nil
+}
+
+// AppendTris writes the triangle table of m: "<a> <b> <c> <level> <green>
+// <leaf>" per triangle, with global vertex IDs.
+func (m *Mesh) AppendTris(pw *planio.Writer) {
+	for t, tv := range m.Tris {
+		pw.Int(int(tv[0]))
+		pw.Int(int(tv[1]))
+		pw.Int(int(tv[2]))
+		pw.Int(int(m.Level[t]))
+		g := 0
+		if m.Green[t] {
+			g = 1
+		}
+		pw.Int(g)
+		pw.Int(int(m.Leaf[t]))
+		pw.End()
+	}
+}
+
+// DecodeTris reads an nt-entry triangle table and assembles a snapshot over
+// the given global coordinate arrays, rebuilding the edge structure. The
+// coordinate slices are aliased, not copied — callers sharing one append-only
+// coordinate arena across several snapshots pass prefixes of it.
+func DecodeTris(s *planio.Scanner, nt int, vx, vy []float64) (m *Mesh, err error) {
+	// buildEdges panics on non-manifold connectivity, which corrupt-but-in-
+	// range triangle data can produce; decoding must degrade to an error.
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("mesh: corrupt triangle table: %v", r)
+		}
+	}()
+	if nt <= 0 {
+		return nil, fmt.Errorf("mesh: bad triangle count %d", nt)
+	}
+	nv := len(vx)
+	m = &Mesh{
+		VX:    vx,
+		VY:    vy,
+		Tris:  make([][3]int32, nt),
+		Level: make([]int8, nt),
+		Green: make([]bool, nt),
+		Leaf:  make([]int32, nt),
+	}
+	for t := 0; t < nt; t++ {
+		m.Tris[t][0] = int32(s.IntRange(0, nv-1))
+		m.Tris[t][1] = int32(s.IntRange(0, nv-1))
+		m.Tris[t][2] = int32(s.IntRange(0, nv-1))
+		m.Level[t] = int8(s.IntRange(-128, 127))
+		m.Green[t] = s.IntRange(0, 1) != 0
+		m.Leaf[t] = int32(s.IntRange(-1, 1<<30))
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	m.buildEdges()
+	return m, nil
+}
+
+// DecodeGlobalFrom reads a version-2 snapshot from the scanner.
+func DecodeGlobalFrom(s *planio.Scanner) (*Mesh, error) {
+	s.Expect("o2kmesh")
+	if v := s.Int(); s.Err() == nil && v != 2 {
+		return nil, fmt.Errorf("mesh: unsupported global version %d", v)
+	}
+	s.Expect("verts")
+	nv := s.IntRange(1, 1<<30)
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	vx, vy, err := DecodeVerts(s, nv)
+	if err != nil {
+		return nil, err
+	}
+	s.Expect("tris")
+	nt := s.IntRange(1, 1<<30)
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return DecodeTris(s, nt, vx, vy)
+}
+
+// DecodeGlobal reads a complete version-2 stream produced by EncodeGlobal.
+func DecodeGlobal(r io.Reader) (*Mesh, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: %w", err)
+	}
+	s := planio.NewScanner(data)
+	m, err := DecodeGlobalFrom(s)
+	if err != nil {
+		return nil, err
+	}
+	s.Done()
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// AppendTo writes the front's parameters — the plan-structure codecs embed
+// the workload's front as a self-describing cross-check, so a cache entry
+// that was somehow stored under the wrong key fails decoding instead of
+// silently supplying plans for a different workload.
+func (w MovingFront) AppendTo(pw *planio.Writer) {
+	pw.Word("o2kfront")
+	pw.Int(1)
+	pw.Float(w.Radius)
+	pw.Float(w.Band)
+	pw.Int(w.MaxLevel)
+	pw.Float(w.X0)
+	pw.Float(w.Y0)
+	pw.Float(w.DX)
+	pw.Float(w.DY)
+	pw.End()
+}
+
+// DecodeMovingFrontFrom reads a front written by AppendTo.
+func DecodeMovingFrontFrom(s *planio.Scanner) (MovingFront, error) {
+	var w MovingFront
+	s.Expect("o2kfront")
+	if v := s.Int(); s.Err() == nil && v != 1 {
+		return w, fmt.Errorf("mesh: unsupported front version %d", v)
+	}
+	w.Radius = s.Float()
+	w.Band = s.Float()
+	w.MaxLevel = s.IntRange(0, 30)
+	w.X0 = s.Float()
+	w.Y0 = s.Float()
+	w.DX = s.Float()
+	w.DY = s.Float()
+	return w, s.Err()
+}
+
+// AppendTo writes the colliding-front pair.
+func (c CollidingFronts) AppendTo(pw *planio.Writer) {
+	pw.Word("o2kfronts")
+	pw.Int(1)
+	pw.Int(c.MaxLevel)
+	pw.End()
+	c.A.AppendTo(pw)
+	c.B.AppendTo(pw)
+}
+
+// DecodeCollidingFrontsFrom reads a colliding-front pair.
+func DecodeCollidingFrontsFrom(s *planio.Scanner) (CollidingFronts, error) {
+	var c CollidingFronts
+	s.Expect("o2kfronts")
+	if v := s.Int(); s.Err() == nil && v != 1 {
+		return c, fmt.Errorf("mesh: unsupported fronts version %d", v)
+	}
+	c.MaxLevel = s.IntRange(0, 30)
+	var err error
+	if c.A, err = DecodeMovingFrontFrom(s); err != nil {
+		return c, err
+	}
+	if c.B, err = DecodeMovingFrontFrom(s); err != nil {
+		return c, err
+	}
+	return c, s.Err()
 }
 
 // FromRaw builds a standalone snapshot from raw coordinate and connectivity

@@ -1,0 +1,50 @@
+package nbody
+
+// Round-trip and corruption properties of the quadtree codec.
+
+import (
+	"reflect"
+	"testing"
+
+	"o2k/internal/planio"
+)
+
+func TestTreeRoundTripDeepEqual(t *testing.T) {
+	b := NewPlummer(300, 1)
+	tree := Build(b)
+	var pw planio.Writer
+	tree.AppendTo(&pw)
+	s := planio.NewScanner(pw.Bytes())
+	tree2, err := DecodeTreeFrom(s, b.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Done()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tree, tree2) {
+		t.Fatal("tree round trip is not DeepEqual")
+	}
+	// The leaf/internal distinction (nil vs non-nil Bodies) must survive —
+	// IsLeaf derives from it.
+	for i := range tree.Cells {
+		if (tree.Cells[i].Bodies == nil) != (tree2.Cells[i].Bodies == nil) {
+			t.Fatalf("cell %d leaf-ness changed across the round trip", i)
+		}
+	}
+}
+
+// Any single bit flip must decode to an error or a value — never a panic.
+func TestTreeDecodeBitFlipsNeverPanic(t *testing.T) {
+	b := NewPlummer(300, 1)
+	var pw planio.Writer
+	Build(b).AppendTo(&pw)
+	data := pw.Bytes()
+	step := len(data)/200 + 1
+	for pos := 0; pos < len(data); pos += step {
+		c := append([]byte(nil), data...)
+		c[pos] ^= 1 << (pos % 8)
+		DecodeTreeFrom(planio.NewScanner(c), b.N()) // must not panic
+	}
+}

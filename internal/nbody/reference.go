@@ -1,6 +1,28 @@
 package nbody
 
-import "sort"
+import "slices"
+
+// MortonOrder returns the body indices sorted by Morton key, ties broken by
+// index — the space-filling traversal CostZones splits. The comparator is a
+// total order, so the permutation is unique: any sorting algorithm produces
+// identical output. It depends only on positions, never on costs or the
+// processor count, so callers deriving partitions for several processor
+// counts over one body set compute it once and reuse it.
+func MortonOrder(b *Bodies) []int32 {
+	n := b.N()
+	x0, y0, size := b.Bounds()
+	// key<<32|index composites sort exactly as (key, index) pairs.
+	comp := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		comp[i] = uint64(b.MortonKey(i, x0, y0, size))<<32 | uint64(uint32(i))
+	}
+	slices.Sort(comp)
+	order := make([]int32, n)
+	for i, k := range comp {
+		order[i] = int32(uint32(k))
+	}
+	return order
+}
 
 // CostZones partitions bodies into nparts spatially-compact, cost-balanced
 // zones: bodies are ordered by Morton key and split at cumulative-cost
@@ -8,26 +30,16 @@ import "sort"
 // the previous step; ones for the first). Ties in keys break by body index,
 // so the partition is deterministic.
 func CostZones(b *Bodies, cost []float64, nparts int) []int32 {
-	n := b.N()
-	x0, y0, size := b.Bounds()
-	order := make([]int32, n)
-	keys := make([]uint32, n)
-	for i := 0; i < n; i++ {
-		order[i] = int32(i)
-		keys[i] = b.MortonKey(i, x0, y0, size)
-	}
-	sort.Slice(order, func(a, c int) bool {
-		ia, ic := order[a], order[c]
-		if keys[ia] != keys[ic] {
-			return keys[ia] < keys[ic]
-		}
-		return ia < ic
-	})
+	return CostZonesOrdered(MortonOrder(b), cost, nparts)
+}
+
+// CostZonesOrdered is CostZones over a precomputed Morton order.
+func CostZonesOrdered(order []int32, cost []float64, nparts int) []int32 {
 	total := 0.0
 	for _, ci := range cost {
 		total += ci
 	}
-	out := make([]int32, n)
+	out := make([]int32, len(order))
 	part := 0
 	cum := 0.0
 	for _, i := range order {

@@ -1,0 +1,60 @@
+package partition
+
+// Round-trip and corruption properties of the decomposition codec.
+
+import (
+	"reflect"
+	"testing"
+
+	"o2k/internal/mesh"
+	"o2k/internal/planio"
+)
+
+func testDecomp(t *testing.T) (*mesh.Mesh, *Decomp) {
+	t.Helper()
+	f := mesh.NewUnitSquare(6, 2)
+	f.Adapt(mesh.DefaultFront(2).At(0))
+	m := f.Snapshot()
+	nt := m.NumTris()
+	xs := make([]float64, nt)
+	ys := make([]float64, nt)
+	wt := make([]float64, nt)
+	for i := 0; i < nt; i++ {
+		xs[i], ys[i] = m.Centroid(i)
+		wt[i] = 1
+	}
+	owner := RCB(xs, ys, wt, 4)
+	return m, NewDecomp(m, owner, 4)
+}
+
+func TestDecompRoundTripDeepEqual(t *testing.T) {
+	m, d := testDecomp(t)
+	var pw planio.Writer
+	d.AppendTo(&pw)
+	s := planio.NewScanner(pw.Bytes())
+	d2, err := DecodeDecompFrom(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Done()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, d2) {
+		t.Fatal("decomp round trip is not DeepEqual")
+	}
+}
+
+// Any single bit flip must decode to an error or a value — never a panic.
+func TestDecompDecodeBitFlipsNeverPanic(t *testing.T) {
+	m, d := testDecomp(t)
+	var pw planio.Writer
+	d.AppendTo(&pw)
+	data := pw.Bytes()
+	step := len(data)/200 + 1
+	for pos := 0; pos < len(data); pos += step {
+		c := append([]byte(nil), data...)
+		c[pos] ^= 1 << (pos % 8)
+		DecodeDecompFrom(planio.NewScanner(c), m) // must not panic
+	}
+}

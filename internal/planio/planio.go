@@ -1,0 +1,188 @@
+// Package planio provides the low-level text serialization primitives the
+// plan-cell codecs share (mesh snapshots, decompositions, Barnes-Hut trees,
+// adaptation plans). The format is whitespace-separated tokens grouped into
+// lines for readability; the reader treats newlines as ordinary separators,
+// so a payload's meaning depends only on its token sequence.
+//
+// Two properties matter more than speed (though both sides are much faster
+// than fmt):
+//
+//   - exact float64 round-trips: floats are written with strconv's shortest
+//     round-trip formatting and parsed back bit-identically, so a decoded
+//     plan is reflect.DeepEqual to the one encoded;
+//   - total decoders: a Scanner never panics on malformed input. The first
+//     malformed token latches an error, every later read returns a zero
+//     value, and the caller checks Err once at the end — corrupt cache
+//     entries must decode to an error, not a crash.
+package planio
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Writer accumulates a token stream. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// sep appends a separating space unless at start of buffer or line.
+func (w *Writer) sep() {
+	if n := len(w.buf); n > 0 && w.buf[n-1] != '\n' {
+		w.buf = append(w.buf, ' ')
+	}
+}
+
+// Word appends a bare token (must not contain whitespace).
+func (w *Writer) Word(s string) {
+	w.sep()
+	w.buf = append(w.buf, s...)
+}
+
+// Int appends an integer token.
+func (w *Writer) Int(v int) {
+	w.sep()
+	w.buf = strconv.AppendInt(w.buf, int64(v), 10)
+}
+
+// I32s appends each element of v as a token.
+func (w *Writer) I32s(v []int32) {
+	for _, x := range v {
+		w.Int(int(x))
+	}
+}
+
+// Float appends a float64 token with shortest exact round-trip formatting.
+func (w *Writer) Float(v float64) {
+	w.sep()
+	w.buf = strconv.AppendFloat(w.buf, v, 'g', -1, 64)
+}
+
+// End terminates the current line.
+func (w *Writer) End() { w.buf = append(w.buf, '\n') }
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Scanner consumes a token stream produced by Writer. All reads after the
+// first error return zero values; Err reports the first failure.
+type Scanner struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// NewScanner returns a scanner over data.
+func NewScanner(data []byte) *Scanner { return &Scanner{data: data} }
+
+// Err returns the first scan failure, or nil.
+func (s *Scanner) Err() error { return s.err }
+
+// fail latches the scanner's first error.
+func (s *Scanner) fail(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf("planio: "+format, args...)
+	}
+}
+
+// token returns the next whitespace-separated token, or "" at end/error.
+func (s *Scanner) token() string {
+	if s.err != nil {
+		return ""
+	}
+	for s.pos < len(s.data) {
+		if c := s.data[s.pos]; c == ' ' || c == '\n' || c == '\t' || c == '\r' {
+			s.pos++
+			continue
+		}
+		break
+	}
+	if s.pos >= len(s.data) {
+		s.fail("unexpected end of payload")
+		return ""
+	}
+	start := s.pos
+	for s.pos < len(s.data) {
+		c := s.data[s.pos]
+		if c == ' ' || c == '\n' || c == '\t' || c == '\r' {
+			break
+		}
+		s.pos++
+	}
+	return string(s.data[start:s.pos])
+}
+
+// Word returns the next token.
+func (s *Scanner) Word() string { return s.token() }
+
+// Expect consumes the next token and fails unless it equals want.
+func (s *Scanner) Expect(want string) {
+	if got := s.token(); s.err == nil && got != want {
+		s.fail("expected %q, got %q", want, got)
+	}
+}
+
+// Int parses the next token as an int.
+func (s *Scanner) Int() int {
+	t := s.token()
+	if s.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || v != int64(int(v)) {
+		s.fail("bad integer %q", t)
+		return 0
+	}
+	return int(v)
+}
+
+// IntRange parses an int and fails unless lo <= v <= hi.
+func (s *Scanner) IntRange(lo, hi int) int {
+	v := s.Int()
+	if s.err == nil && (v < lo || v > hi) {
+		s.fail("integer %d outside [%d, %d]", v, lo, hi)
+		return 0
+	}
+	return v
+}
+
+// I32s fills dst with parsed int32 tokens, each checked against [lo, hi].
+func (s *Scanner) I32s(dst []int32, lo, hi int) {
+	for i := range dst {
+		dst[i] = int32(s.IntRange(lo, hi))
+	}
+}
+
+// Float parses the next token as a float64. NaN and infinities are rejected:
+// no plan quantity is legitimately non-finite, and a NaN would break the
+// DeepEqual round-trip contract.
+func (s *Scanner) Float() float64 {
+	t := s.token()
+	if s.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		s.fail("bad float %q", t)
+		return 0
+	}
+	return v
+}
+
+// Done fails unless the entire payload has been consumed (trailing
+// whitespace is fine). Truncation is caught by reads running off the end;
+// Done catches the inverse — trailing garbage appended to a valid prefix.
+func (s *Scanner) Done() {
+	if s.err != nil {
+		return
+	}
+	for s.pos < len(s.data) {
+		c := s.data[s.pos]
+		if c != ' ' && c != '\n' && c != '\t' && c != '\r' {
+			s.fail("trailing garbage at offset %d", s.pos)
+			return
+		}
+		s.pos++
+	}
+}

@@ -20,10 +20,14 @@ import (
 // the cache can make a run slower, never different.
 
 // Codec serializes one cell type's successful value for the persistent
-// cache. Only cells whose helpers pass a codec to DoCached persist; plan
-// cells hold live mesh/decomposition structures that are cheap to rebuild
-// and are deliberately left memory-only (nil codec).
+// cache. Only cells whose helpers pass a codec to DoCached persist. Two
+// codec families exist: MetricsCodec for run cells, and the plan codecs in
+// cells.go that persist the structural tier (adaptation histories, reference
+// simulations, partitioning decisions) behind the plan cells.
 type Codec struct {
+	// Kind classifies the cell for reporting ("metrics", "plan"); it does
+	// not affect storage.
+	Kind string
 	// Encode turns the cell's value into a stable payload. An error means
 	// "do not cache this value"; the run is unaffected.
 	Encode func(v any) ([]byte, error)
@@ -43,12 +47,15 @@ type CachedError struct {
 
 func (e *CachedError) Error() string { return e.Msg }
 
-// outcomePayload is the cached form of one completed cell: exactly one of
-// Err or Val is set.
-type outcomePayload struct {
-	Err *cachedErrPayload `json:"err,omitempty"`
-	Val json.RawMessage   `json:"val,omitempty"`
-}
+// Outcome framing: the payload's first line tags what follows. A value
+// payload is "v\n" + the codec's bytes verbatim (no re-encoding — codec
+// output can be multi-megabyte plan text, and warm-run time is dominated by
+// how many passes are made over it); an error payload is "e\n" + the JSON of
+// cachedErrPayload. Anything else is corrupt.
+var (
+	valPrefix = []byte("v\n")
+	errPrefix = []byte("e\n")
+)
 
 type cachedErrPayload struct {
 	Msg   string `json:"msg"`
@@ -91,23 +98,23 @@ func (e *Engine) diskLoad(key string, codec *Codec) (val any, cerr error, ok boo
 	if !ok {
 		return nil, nil, false
 	}
-	dec := json.NewDecoder(bytes.NewReader(payload))
-	dec.DisallowUnknownFields()
-	var out outcomePayload
-	if err := dec.Decode(&out); err != nil {
-		e.cache.Invalidate(key)
-		return nil, nil, false
-	}
 	switch {
-	case out.Err != nil:
-		return nil, &CachedError{Msg: out.Err.Msg, Label: out.Err.Label}, true
-	case out.Val != nil:
-		v, err := codec.Decode(out.Val)
+	case bytes.HasPrefix(payload, valPrefix):
+		v, err := codec.Decode(payload[len(valPrefix):])
 		if err != nil {
 			e.cache.Invalidate(key)
 			return nil, nil, false
 		}
 		return v, nil, true
+	case bytes.HasPrefix(payload, errPrefix):
+		dec := json.NewDecoder(bytes.NewReader(payload[len(errPrefix):]))
+		dec.DisallowUnknownFields()
+		var ep cachedErrPayload
+		if err := dec.Decode(&ep); err != nil {
+			e.cache.Invalidate(key)
+			return nil, nil, false
+		}
+		return nil, &CachedError{Msg: ep.Msg, Label: ep.Label}, true
 	default:
 		e.cache.Invalidate(key)
 		return nil, nil, false
@@ -123,20 +130,24 @@ func (e *Engine) diskStore(key string, codec *Codec, val any, cellErr error) {
 	if e.cache == nil || codec == nil || e.ctx.Err() != nil || !persistable(cellErr) {
 		return
 	}
-	var out outcomePayload
+	var body []byte
+	prefix := valPrefix
 	if cellErr != nil {
-		out.Err = &cachedErrPayload{Msg: cellErr.Error(), Label: FailLabel(cellErr)}
+		data, err := json.Marshal(cachedErrPayload{Msg: cellErr.Error(), Label: FailLabel(cellErr)})
+		if err != nil {
+			return
+		}
+		body, prefix = data, errPrefix
 	} else {
 		data, err := codec.Encode(val)
 		if err != nil {
 			return
 		}
-		out.Val = data
+		body = data
 	}
-	payload, err := json.Marshal(out)
-	if err != nil {
-		return
-	}
+	payload := make([]byte, 0, len(prefix)+len(body))
+	payload = append(payload, prefix...)
+	payload = append(payload, body...)
 	e.cache.Put(key, payload) // counted by the cache on failure
 }
 

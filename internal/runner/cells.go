@@ -10,6 +10,8 @@ import (
 	"o2k/internal/apps/stencil"
 	"o2k/internal/core"
 	"o2k/internal/machine"
+	"o2k/internal/mesh"
+	"o2k/internal/planio"
 )
 
 // The typed cell helpers below are the whole vocabulary the experiments
@@ -19,6 +21,20 @@ import (
 // processor count (and, for the mesh, across ablation variants that differ
 // only in run-time knobs) — exactly the sharing the serial drivers used to
 // arrange by hand with RunWithPlans.
+//
+// Plan construction itself splits into two tiers, both persisted:
+//
+//   - a *structure* cell per workload (the adaptation history, the N-body
+//     reference simulation, the refined CG mesh) — independent of the
+//     processor count, so every P of a scaling sweep shares one entry;
+//   - a *plan* cell per (workload, P) storing only the partitioning
+//     decisions; the full plans are re-derived from structure + decisions
+//     on decode, which is cheap, keeps entries small, and makes a decoded
+//     plan equal to a computed one by construction.
+//
+// Machine latency/bandwidth constants never enter a structure or plan key —
+// only the processor count does — so machine presets that differ only in
+// timing (fig12's four classes) share every plan-tier entry.
 //
 // Dependency discipline: every helper resolves its plan cell *before*
 // entering Do, so a goroutine never holds a worker slot while waiting for
@@ -48,9 +64,9 @@ func metricsRes(v any, err error) Res {
 
 // MetricsCodec persists metrics run cells in the on-disk cache: the strict
 // lossless JSON codec from core (see core/codec.go for why the round-trip
-// is exact). Plan cells stay memory-only — they hold live mesh structures
-// and are cheap to rebuild relative to the runs that consume them.
+// is exact).
 var MetricsCodec = &Codec{
+	Kind: "metrics",
 	Encode: func(v any) ([]byte, error) {
 		m, ok := v.(core.Metrics)
 		if !ok {
@@ -67,6 +83,27 @@ var MetricsCodec = &Codec{
 	},
 }
 
+// textCodec wraps a plan-tier text serialization (internal/planio format) as
+// a cache Codec. Payload bytes are stored verbatim — the cache's value
+// framing is format-agnostic, so the multi-megabyte plan text is read with
+// zero re-encoding passes on warm runs.
+func textCodec(enc func(v any) ([]byte, error), dec func(data []byte) (any, error)) *Codec {
+	return &Codec{Kind: "plan", Encode: enc, Decode: dec}
+}
+
+// meshStructWorkload strips every workload field the adaptation sequence
+// does not read — the run-time knobs (solver depth, auxiliary field count,
+// the CC-SAS page-migration toggle) and NoRemap, which only affects the
+// per-P partitioning. What remains — grid, refinement depth, cycles, fronts,
+// StaticMesh — is exactly what changes the structure.
+func meshStructWorkload(w adaptmesh.Workload) adaptmesh.Workload {
+	w.SolveIters = 0
+	w.AuxFields = 0
+	w.SasPageMigrate = false
+	w.NoRemap = false
+	return w
+}
+
 // meshPlanWorkload strips the workload fields that BuildPlans does not read
 // (solver depth, auxiliary field count, the CC-SAS page-migration knob), so
 // ablation variants that differ only in those knobs share one plan cell.
@@ -79,13 +116,69 @@ func meshPlanWorkload(w adaptmesh.Workload) adaptmesh.Workload {
 	return w
 }
 
+// Plan-tier cache keys. Each folds in the payload's schema string, so a
+// format change retires old entries; none folds in machine timing constants.
+func meshStructKey(w adaptmesh.Workload) string {
+	return core.CellKey("mesh/structure", adaptmesh.StructureSchema, meshStructWorkload(w))
+}
+
+func meshPlanKey(w adaptmesh.Workload, procs int) string {
+	return core.CellKey("mesh/plans", adaptmesh.PlanSchema, meshPlanWorkload(w), procs)
+}
+
+func nbodyStructKey(w barnes.Workload) string {
+	return core.CellKey("nbody/structure", barnes.StructureSchema, w)
+}
+
+// cgStructWorkload strips the fields the CG plan does not depend on: the
+// iteration count and the diagonal shift are pure run-time parameters.
+func cgStructWorkload(w cg.Workload) cg.Workload {
+	w.Iters = 0
+	w.Sigma = 0
+	return w
+}
+
+func cgMeshKey(w cg.Workload) string {
+	return core.CellKey("cg/mesh", cg.MeshSchema, cgStructWorkload(w))
+}
+
+func cgPlanKey(w cg.Workload, procs int) string {
+	return core.CellKey("cg/plan", cg.PlanSchema, cgStructWorkload(w), procs)
+}
+
+// meshStructure returns the memoized (and persisted) adaptation history for
+// the mesh workload.
+func (e *Engine) meshStructure(w adaptmesh.Workload) (*adaptmesh.Structure, error) {
+	sw := meshStructWorkload(w)
+	codec := textCodec(
+		func(v any) ([]byte, error) { return adaptmesh.EncodeStructure(v.(*adaptmesh.Structure), sw), nil },
+		func(data []byte) (any, error) { return adaptmesh.DecodeStructure(data, sw) },
+	)
+	v, err := e.DoCached(meshStructKey(w), "mesh structure", codec, func(context.Context) (any, error) {
+		return adaptmesh.BuildStructure(sw), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*adaptmesh.Structure), nil
+}
+
 // MeshPlans returns the memoized cycle plans for the mesh workload at the
-// given processor count.
+// given processor count. The structure cell is resolved first (never inside
+// the plan cell's compute — see the Do discipline above); the plan cell then
+// persists only the per-cycle partitioning decisions.
 func (e *Engine) MeshPlans(w adaptmesh.Workload, procs int) ([]*adaptmesh.CyclePlan, error) {
+	st, err := e.meshStructure(w)
+	if err != nil {
+		return nil, err
+	}
 	pw := meshPlanWorkload(w)
-	key := core.CellKey("mesh/plans", pw, procs)
-	v, err := e.Do(key, fmt.Sprintf("mesh plans P=%d", procs), func(context.Context) (any, error) {
-		return adaptmesh.BuildPlans(pw, procs), nil
+	codec := textCodec(
+		func(v any) ([]byte, error) { return adaptmesh.EncodePlans(v.([]*adaptmesh.CyclePlan), procs), nil },
+		func(data []byte) (any, error) { return st.DecodePlans(data, procs) },
+	)
+	v, err := e.DoCached(meshPlanKey(w, procs), fmt.Sprintf("mesh plans P=%d", procs), codec, func(context.Context) (any, error) {
+		return st.Plans(procs, pw.NoRemap), nil
 	})
 	if err != nil {
 		return nil, err
@@ -131,11 +224,34 @@ func (e *Engine) MeshHybrid(cfg machine.Config, w adaptmesh.Workload) Res {
 	}))
 }
 
+// nbodyStructure returns the memoized (and persisted) reference-simulation
+// record for the N-body workload — the force evaluations that dominate plan
+// construction.
+func (e *Engine) nbodyStructure(w barnes.Workload) (*barnes.Structure, error) {
+	codec := textCodec(
+		func(v any) ([]byte, error) { return barnes.EncodeStructure(v.(*barnes.Structure)), nil },
+		func(data []byte) (any, error) { return barnes.DecodeStructure(data, w) },
+	)
+	v, err := e.DoCached(nbodyStructKey(w), "n-body structure", codec, func(context.Context) (any, error) {
+		return barnes.BuildStructure(w), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*barnes.Structure), nil
+}
+
 // NBodyPlans returns the memoized per-step plans for the N-body workload.
+// The per-P derivation (cost-zones over the captured positions) is cheap
+// relative to the persisted structure, so the plan cells stay memory-only.
 func (e *Engine) NBodyPlans(w barnes.Workload, procs int) ([]*barnes.StepPlan, error) {
+	st, err := e.nbodyStructure(w)
+	if err != nil {
+		return nil, err
+	}
 	key := core.CellKey("nbody/plans", w, procs)
 	v, err := e.Do(key, fmt.Sprintf("n-body plans P=%d", procs), func(context.Context) (any, error) {
-		return barnes.BuildPlans(w, procs), nil
+		return st.Plans(procs), nil
 	})
 	if err != nil {
 		return nil, err
@@ -162,11 +278,53 @@ func (e *Engine) NBodyModels(cfg machine.Config, w barnes.Workload) [3]Res {
 	return out
 }
 
+// cgMesh returns the memoized (and persisted) refined snapshot for the CG
+// workload, serialized in the mesh v2 global-ID format.
+func (e *Engine) cgMesh(w cg.Workload) (*mesh.Mesh, error) {
+	codec := textCodec(
+		func(v any) ([]byte, error) {
+			var pw planio.Writer
+			v.(*mesh.Mesh).AppendGlobal(&pw)
+			return pw.Bytes(), nil
+		},
+		func(data []byte) (any, error) {
+			s := planio.NewScanner(data)
+			m, err := mesh.DecodeGlobalFrom(s)
+			if err != nil {
+				return nil, err
+			}
+			s.Done()
+			if err := s.Err(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		},
+	)
+	sw := cgStructWorkload(w)
+	v, err := e.DoCached(cgMeshKey(w), "cg mesh", codec, func(context.Context) (any, error) {
+		return cg.BuildMesh(sw), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*mesh.Mesh), nil
+}
+
 // CGPlan returns the memoized static plan for the conjugate-gradient run.
+// The mesh cell is resolved first; the plan cell persists the partitioning
+// decision only.
 func (e *Engine) CGPlan(w cg.Workload, procs int) (*cg.Plan, error) {
-	key := core.CellKey("cg/plan", w, procs)
-	v, err := e.Do(key, fmt.Sprintf("cg plan P=%d", procs), func(context.Context) (any, error) {
-		return cg.BuildPlan(w, procs), nil
+	m, err := e.cgMesh(w)
+	if err != nil {
+		return nil, err
+	}
+	sw := cgStructWorkload(w)
+	codec := textCodec(
+		func(v any) ([]byte, error) { return cg.EncodePlan(v.(*cg.Plan)), nil },
+		func(data []byte) (any, error) { return cg.DecodePlan(data, sw, m, procs) },
+	)
+	v, err := e.DoCached(cgPlanKey(w, procs), fmt.Sprintf("cg plan P=%d", procs), codec, func(context.Context) (any, error) {
+		return cg.PlanForMesh(sw, m, procs), nil
 	})
 	if err != nil {
 		return nil, err

@@ -1,7 +1,7 @@
 // Package diskcache is the crash-safe persistent half of the runner's cell
-// cache: a content-addressed store mapping a cell's core.CellKey to the JSON
-// payload of its completed outcome, shared by every o2kbench invocation and
-// CI verdict job that points at the same directory.
+// cache: a content-addressed store mapping a cell's core.CellKey to the
+// opaque payload of its completed outcome, shared by every o2kbench
+// invocation and CI verdict job that points at the same directory.
 //
 // The store is built around one invariant — a broken cache may slow a run
 // down, but it can never change the run's bytes or fail it (DESIGN.md §5.5).
@@ -44,16 +44,38 @@ import (
 // Schema identifies the on-disk entry format. Bump it when the envelope or
 // payload encoding changes incompatibly; old entries then read as stale and
 // are recomputed.
-const Schema = "o2k-cellcache/v1"
+//
+// v2 split the entry into a one-line JSON header followed by the raw payload
+// bytes. Plan-tier payloads run to megabytes; embedding them inside the
+// header's JSON (as v1 did) forced several full JSON scans per warm read,
+// which dominated warm-run time. The header/payload split reads an entry
+// with one parse of a tiny header plus one checksum pass over the payload,
+// and frees payloads from being valid JSON at all.
+const Schema = "o2k-cellcache/v2"
 
-// entry is the on-disk envelope around one cell outcome. Payload is kept as
-// raw JSON so Sum can be verified over the exact stored bytes.
-type entry struct {
-	Schema  string          `json:"schema"`
-	Fence   string          `json:"fence"`
-	Key     string          `json:"key"`
-	Sum     string          `json:"sum"` // SHA-256 hex of Payload bytes
-	Payload json.RawMessage `json:"payload"`
+// header is the first line of an entry file: integrity and identity metadata
+// for the payload bytes that follow the newline. json.Marshal never emits a
+// raw newline, so the first '\n' in the file is always the separator.
+type header struct {
+	Schema string `json:"schema"`
+	Fence  string `json:"fence"`
+	Key    string `json:"key"`
+	Sum    string `json:"sum"` // SHA-256 hex of the payload bytes
+}
+
+// parseEntry splits an entry file into its decoded header and the payload
+// bytes (aliasing data, not copying). Any malformation is an error.
+func parseEntry(data []byte) (h header, payload []byte, err error) {
+	i := bytes.IndexByte(data, '\n')
+	if i < 0 {
+		return h, nil, errors.New("diskcache: entry has no header line")
+	}
+	dec := json.NewDecoder(bytes.NewReader(data[:i]))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&h); err != nil {
+		return h, nil, err
+	}
+	return h, data[i+1:], nil
 }
 
 // Counters is a snapshot of the cache's degradation telemetry. Every Get
@@ -151,10 +173,10 @@ func keyOK(key string) bool {
 	return true
 }
 
-// path returns the entry file for key: <dir>/<key[:2]>/<key>.json. The
+// path returns the entry file for key: <dir>/<key[:2]>/<key>.cell. The
 // two-character shard keeps directory listings bounded as caches grow.
 func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key[:2], key+".json")
+	return filepath.Join(c.dir, key[:2], key+".cell")
 }
 
 // Get returns the stored payload for key, or ok=false on a miss. Every
@@ -175,30 +197,28 @@ func (c *Cache) Get(key string) (payload []byte, ok bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
-	var e entry
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&e); err != nil {
+	h, payload, err := parseEntry(data)
+	if err != nil {
 		c.corruptEvict(key)
 		return nil, false
 	}
-	if e.Schema != Schema || e.Fence != c.fence {
+	if h.Schema != Schema || h.Fence != c.fence {
 		c.stale.Add(1)
 		c.misses.Add(1)
 		c.evict(key)
 		return nil, false
 	}
-	if e.Key != key || !sumOK(e) {
+	if h.Key != key || !sumOK(h, payload) {
 		c.corruptEvict(key)
 		return nil, false
 	}
 	c.hits.Add(1)
-	return e.Payload, true
+	return payload, true
 }
 
-func sumOK(e entry) bool {
-	sum := sha256.Sum256(e.Payload)
-	return e.Sum == hex.EncodeToString(sum[:])
+func sumOK(h header, payload []byte) bool {
+	sum := sha256.Sum256(payload)
+	return h.Sum == hex.EncodeToString(sum[:])
 }
 
 // corruptEvict books one integrity failure: corrupt + miss, entry removed.
@@ -230,27 +250,30 @@ func (c *Cache) Invalidate(key string) {
 }
 
 // Put atomically commits payload as key's entry: marshal the checksummed
-// envelope, write it to a temp file in the entry's shard directory, and
-// rename it into place. On any error the entry is untouched, the temp file
-// is removed best-effort, and PutErrs is bumped — a failed Put never leaves
-// a partial entry for a later Get to trust.
+// header, write header + '\n' + payload to a temp file in the entry's shard
+// directory, and rename it into place. On any error the entry is untouched,
+// the temp file is removed best-effort, and PutErrs is bumped — a failed Put
+// never leaves a partial entry for a later Get to trust.
 func (c *Cache) Put(key string, payload []byte) error {
 	if !keyOK(key) {
 		c.putErrs.Add(1)
 		return fmt.Errorf("diskcache: malformed key %q", key)
 	}
 	sum := sha256.Sum256(payload)
-	data, err := json.Marshal(entry{
-		Schema:  Schema,
-		Fence:   c.fence,
-		Key:     key,
-		Sum:     hex.EncodeToString(sum[:]),
-		Payload: json.RawMessage(payload),
+	hdr, err := json.Marshal(header{
+		Schema: Schema,
+		Fence:  c.fence,
+		Key:    key,
+		Sum:    hex.EncodeToString(sum[:]),
 	})
 	if err != nil {
 		c.putErrs.Add(1)
 		return fmt.Errorf("diskcache: encode %s: %w", key, err)
 	}
+	data := make([]byte, 0, len(hdr)+1+len(payload))
+	data = append(data, hdr...)
+	data = append(data, '\n')
+	data = append(data, payload...)
 	dst := c.path(key)
 	if err := c.fs.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		c.putErrs.Add(1)
@@ -309,14 +332,12 @@ func (c *Cache) Verify() (VerifyStats, error) {
 			c.fs.Remove(path)
 			return
 		}
-		var e entry
-		dec := json.NewDecoder(bytes.NewReader(data))
-		dec.DisallowUnknownFields()
+		h, payload, perr := parseEntry(data)
 		switch {
-		case dec.Decode(&e) != nil, e.Key != key, !sumOK(e):
+		case perr != nil, h.Key != key, !sumOK(h, payload):
 			st.Bad++
 			c.fs.Remove(path)
-		case e.Schema != Schema, e.Fence != c.fence:
+		case h.Schema != Schema, h.Fence != c.fence:
 			st.Bad++
 			st.Stale++
 			c.fs.Remove(path)
@@ -370,7 +391,7 @@ func (c *Cache) walk(visit func(path, key string, tmp bool)) error {
 			}
 			name := f.Name()
 			path := filepath.Join(c.dir, sh.Name(), name)
-			key, isEntry := strings.CutSuffix(name, ".json")
+			key, isEntry := strings.CutSuffix(name, ".cell")
 			if isEntry && keyOK(key) {
 				visit(path, key, false)
 			} else {

@@ -32,7 +32,7 @@ func open(t *testing.T, opts ...Option) *Cache {
 // entryFile locates the single committed entry for k in c's directory.
 func entryFile(t *testing.T, c *Cache, k string) string {
 	t.Helper()
-	p := filepath.Join(c.Dir(), k[:2], k+".json")
+	p := filepath.Join(c.Dir(), k[:2], k+".cell")
 	if _, err := os.Stat(p); err != nil {
 		t.Fatalf("entry for %s not on disk: %v", k, err)
 	}
@@ -145,7 +145,7 @@ func TestMisfiledEntryIsCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	src := entryFile(t, c, ka)
-	dst := filepath.Join(c.Dir(), kb[:2], kb+".json")
+	dst := filepath.Join(c.Dir(), kb[:2], kb+".cell")
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestVerifyAndClear(t *testing.T) {
 	if err := os.WriteFile(p, []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	tmp := filepath.Join(c.Dir(), keys[0][:2], keys[0]+".json.tmp.1.1")
+	tmp := filepath.Join(c.Dir(), keys[0][:2], keys[0]+".cell.tmp.1.1")
 	if err := os.WriteFile(tmp, []byte("half"), 0o644); err != nil {
 		t.Fatal(err)
 	}

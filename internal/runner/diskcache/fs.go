@@ -27,6 +27,6 @@ func (OSFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(n
 func (OSFS) WriteFile(name string, data []byte, perm os.FileMode) error {
 	return os.WriteFile(name, data, perm)
 }
-func (OSFS) Rename(oldpath, newpath string) error     { return os.Rename(oldpath, newpath) }
-func (OSFS) Remove(name string) error                 { return os.Remove(name) }
+func (OSFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                   { return os.Remove(name) }
 func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }

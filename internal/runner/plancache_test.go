@@ -1,0 +1,160 @@
+package runner
+
+// Plan-tier persistence and fault semantics: the structure/plan cells added
+// for millisecond warm runs must round-trip through the disk cache across
+// engine instances, and every way a plan entry can go bad — bit rot, read
+// errors, garbage files, well-framed payloads that fail the plan decoder —
+// must degrade to recomputation with identical plans, never surface as a
+// run error.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"o2k/internal/apps/adaptmesh"
+	"o2k/internal/apps/cg"
+	"o2k/internal/runner/diskcache"
+)
+
+func openDisk(t *testing.T, dir string, opts ...diskcache.Option) *diskcache.Cache {
+	t.Helper()
+	dc, err := diskcache.Open(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+// meshPlanBytes resolves the mesh plans on a fresh engine over dc and
+// returns their canonical serialization plus the engine's report.
+func meshPlanBytes(t *testing.T, w adaptmesh.Workload, procs int, dc *diskcache.Cache) ([]byte, *Report) {
+	t.Helper()
+	e := New(1)
+	if dc != nil {
+		e.SetCache(dc)
+	}
+	plans, err := e.MeshPlans(w, procs)
+	if err != nil {
+		t.Fatalf("MeshPlans: %v", err)
+	}
+	return adaptmesh.EncodePlans(plans, procs), e.Report()
+}
+
+func TestPlanCellsPersistAcrossEngines(t *testing.T) {
+	w := adaptmesh.Small()
+	dir := t.TempDir()
+
+	ref, coldRep := meshPlanBytes(t, w, 4, openDisk(t, dir))
+	if coldRep.PlanDiskHits != 0 || coldRep.PlanCells == 0 {
+		t.Fatalf("cold report: PlanDiskHits=%d PlanCells=%d", coldRep.PlanDiskHits, coldRep.PlanCells)
+	}
+
+	warm, warmRep := meshPlanBytes(t, w, 4, openDisk(t, dir))
+	if !bytes.Equal(warm, ref) {
+		t.Fatal("warm plans differ from cold plans")
+	}
+	// Both tiers — the adaptation structure and the per-P partitioning
+	// decisions — must come from disk on the warm pass.
+	if warmRep.PlanDiskHits < 2 {
+		t.Fatalf("warm PlanDiskHits = %d, want >= 2 (structure + plan)", warmRep.PlanDiskHits)
+	}
+	for _, c := range warmRep.Cells {
+		if c.Kind == "plan" && !c.FromDisk {
+			t.Fatalf("warm run recomputed plan cell %q", c.Label)
+		}
+	}
+}
+
+func TestPlanTierFaultsDegradeToRecompute(t *testing.T) {
+	w := adaptmesh.Small()
+	dir := t.TempDir()
+	ref, _ := meshPlanBytes(t, w, 4, openDisk(t, dir))
+
+	t.Run("bit rot on every read", func(t *testing.T) {
+		ffs := diskcache.NewFaultFS(nil)
+		ffs.FlipBitOnRead(1 << 20)
+		out, rep := meshPlanBytes(t, w, 4, openDisk(t, dir, diskcache.WithFS(ffs)))
+		if !bytes.Equal(out, ref) {
+			t.Fatal("bit-rotted plan cache changed the plans")
+		}
+		if rep.PlanDiskHits != 0 || rep.Disk.Corrupt == 0 {
+			t.Fatalf("report: PlanDiskHits=%d Disk=%+v, want all-corrupt, none served", rep.PlanDiskHits, rep.Disk)
+		}
+	})
+
+	t.Run("read errors on every probe", func(t *testing.T) {
+		dir := t.TempDir()
+		meshPlanBytes(t, w, 4, openDisk(t, dir))
+		ffs := diskcache.NewFaultFS(nil)
+		ffs.FailReads(errors.New("injected EIO"))
+		out, rep := meshPlanBytes(t, w, 4, openDisk(t, dir, diskcache.WithFS(ffs)))
+		if !bytes.Equal(out, ref) {
+			t.Fatal("unreadable plan cache changed the plans")
+		}
+		if rep.PlanDiskHits != 0 || rep.Disk.ReadErrs == 0 {
+			t.Fatalf("report: PlanDiskHits=%d Disk=%+v", rep.PlanDiskHits, rep.Disk)
+		}
+	})
+
+	// A payload that passes diskcache integrity and outcome framing but fails
+	// the plan decoder must be invalidated and recomputed — this is the path
+	// where a corrupt plan entry could otherwise surface as a run error.
+	t.Run("well-framed garbage plan payloads", func(t *testing.T) {
+		dir := t.TempDir()
+		dc := openDisk(t, dir)
+		for _, key := range []string{meshStructKey(w), meshPlanKey(w, 4)} {
+			if err := dc.Put(key, []byte("v\nnot a plan at all")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, rep := meshPlanBytes(t, w, 4, dc)
+		if !bytes.Equal(out, ref) {
+			t.Fatal("garbage plan payloads changed the plans")
+		}
+		if rep.PlanDiskHits != 0 {
+			t.Fatalf("garbage payloads were served as plans: PlanDiskHits=%d", rep.PlanDiskHits)
+		}
+		// The decoder rejections must have evicted both entries; a rerun
+		// stores fresh ones and serves them.
+		out2, rep2 := meshPlanBytes(t, w, 4, openDisk(t, dir))
+		if !bytes.Equal(out2, ref) {
+			t.Fatal("recovered plan cache changed the plans")
+		}
+		if rep2.PlanDiskHits < 2 {
+			t.Fatalf("entries were not rewritten after eviction: PlanDiskHits=%d", rep2.PlanDiskHits)
+		}
+	})
+
+	t.Run("truncated and mis-framed cg plan entries", func(t *testing.T) {
+		cw := cg.Small()
+		dir := t.TempDir()
+		e := New(1)
+		e.SetCache(openDisk(t, dir))
+		refPlan, err := e.CGPlan(cw, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBytes := cg.EncodePlan(refPlan)
+
+		dc := openDisk(t, dir)
+		if err := dc.Put(cgMeshKey(cw), []byte("e\n{")); err != nil { // torn error frame
+			t.Fatal(err)
+		}
+		if err := dc.Put(cgPlanKey(cw, 4), []byte("v\no2kcgplan 1")); err != nil { // truncated plan
+			t.Fatal(err)
+		}
+		e2 := New(1)
+		e2.SetCache(dc)
+		p, err := e2.CGPlan(cw, 4)
+		if err != nil {
+			t.Fatalf("corrupt cg plan entries surfaced as a run error: %v", err)
+		}
+		if !bytes.Equal(cg.EncodePlan(p), refBytes) {
+			t.Fatal("corrupt cg plan entries changed the plan")
+		}
+		if rep := e2.Report(); rep.PlanDiskHits != 0 {
+			t.Fatalf("corrupt entries were served: PlanDiskHits=%d", rep.PlanDiskHits)
+		}
+	})
+}

@@ -19,6 +19,7 @@ type CellStat struct {
 	Err      string        `json:"err,omitempty"`       // the cell's failure, empty on success
 	InFlight bool          `json:"in_flight,omitempty"` // still computing at snapshot time
 	FromDisk bool          `json:"from_disk,omitempty"` // served from the persistent cache
+	Kind     string        `json:"kind,omitempty"`      // codec classification ("metrics", "plan")
 }
 
 // Report is the engine's execution summary: how many cell requests the
@@ -26,16 +27,18 @@ type CellStat struct {
 // and where the wall time went. It is host-timing data — print it to stderr
 // (as o2kbench -runreport does) so table output stays byte-stable.
 type Report struct {
-	Jobs     int           `json:"jobs"`
-	Unique   int           `json:"unique_cells"`
-	Requests int64         `json:"requests"`
-	Hits     int64         `json:"hits"`
-	Dedups   int64         `json:"dedups"`
-	Failures int           `json:"failures"`     // completed cells that ended in error
-	CellWall time.Duration `json:"cell_wall_ns"` // summed compute time of all unique cells
-	DiskHits int64         `json:"disk_hits"`    // unique cells restored from the persistent cache
-	Disk     *DiskStats    `json:"disk,omitempty"` // persistent-cache telemetry, nil when memory-only
-	Cells    []CellStat    `json:"cells"`        // sorted by wall time, descending
+	Jobs         int           `json:"jobs"`
+	Unique       int           `json:"unique_cells"`
+	Requests     int64         `json:"requests"`
+	Hits         int64         `json:"hits"`
+	Dedups       int64         `json:"dedups"`
+	Failures     int           `json:"failures"`       // completed cells that ended in error
+	CellWall     time.Duration `json:"cell_wall_ns"`   // summed compute time of all unique cells
+	DiskHits     int64         `json:"disk_hits"`      // unique cells restored from the persistent cache
+	PlanCells    int           `json:"plan_cells"`     // completed plan-tier cells (structures + plans)
+	PlanDiskHits int64         `json:"plan_disk_hits"` // plan-tier cells restored from the persistent cache
+	Disk         *DiskStats    `json:"disk,omitempty"` // persistent-cache telemetry, nil when memory-only
+	Cells        []CellStat    `json:"cells"`          // sorted by wall time, descending
 }
 
 // Report snapshots the engine's statistics. It is safe to call while cells
@@ -56,12 +59,18 @@ func (e *Engine) Report() *Report {
 		r.Disk = diskStats(e.cache.Counters())
 	}
 	for _, c := range cells {
-		s := CellStat{Label: c.label, Key: c.key, Hits: c.hits.Load(), Dedups: c.dedup.Load()}
+		s := CellStat{Label: c.label, Key: c.key, Kind: c.kind, Hits: c.hits.Load(), Dedups: c.dedup.Load()}
 		select {
 		case <-c.done:
 			s.Wall, s.Attempts, s.FromDisk = c.wall, c.attempts, c.fromDisk
 			if s.FromDisk {
 				r.DiskHits++
+				if s.Kind == "plan" {
+					r.PlanDiskHits++
+				}
+			}
+			if s.Kind == "plan" {
+				r.PlanCells++
 			}
 			if c.err != nil {
 				s.Err = c.err.Error()
@@ -107,6 +116,7 @@ func (r *Report) Table() *core.Table {
 	if r.Disk != nil {
 		t.AddRow("disk cache", r.Disk.String(), "", "")
 		t.AddRow("cells from disk", fmt.Sprintf("%d", r.DiskHits), "", "")
+		t.AddRow("plan cells from disk", fmt.Sprintf("%d of %d", r.PlanDiskHits, r.PlanCells), "", "")
 	}
 	if r.Failures > 0 {
 		t.AddRow("failed cells", fmt.Sprintf("%d", r.Failures), "", "")

@@ -95,6 +95,7 @@ type Engine struct {
 type cell struct {
 	key      string
 	label    string
+	kind     string        // codec classification ("metrics", "plan"), "" if memory-only
 	done     chan struct{} // closed once val/err are set
 	val      any
 	err      error
@@ -199,6 +200,9 @@ func (e *Engine) DoCached(key, label string, codec *Codec, compute func(ctx cont
 		return c.val, c.err
 	}
 	c := &cell{key: key, label: label, done: make(chan struct{})}
+	if codec != nil {
+		c.kind = codec.Kind
+	}
 	e.cells[key] = c
 	e.order = append(e.order, c)
 	e.mu.Unlock()
