@@ -88,6 +88,17 @@ func RunHybridWithPlans(mach *machine.Machine, w Workload, plans []*CyclePlan) c
 				checksum = cs
 			}
 		})
+		for q := 0; q < nprocs; q++ {
+			numa.Release(accLane[q])
+		}
+		if uOld != nil {
+			for n := 0; n < nnodes; n++ {
+				numa.Release(uOld[n])
+				for _, ax := range auxOld[n] {
+					numa.Release(ax)
+				}
+			}
+		}
 		uOld = uNode
 		auxOld = auxNode
 	}
@@ -161,36 +172,38 @@ func hybridCycle(p *sim.Proc, mach *machine.Machine, world *mp.World, w Workload
 
 	// --- remap: leader migrates between nodes; lanes share interpolation.
 	ph = p.SetPhase(sim.PhaseRemap)
+	fields := make([]*numa.Array[float64], 0, nf)
+	fields = append(append(fields, u), aux...)
+	var scratch []float64
+	buf := func(n int) []float64 {
+		if cap(scratch) < n {
+			scratch = make([]float64, n)
+		}
+		return scratch[:n]
+	}
 	if prev == nil {
-		for _, v := range laneSlice(dec.OwnedVerts[node], lane, nodeP) {
-			u.Store(p, int(v), w.initialField(pl.M.VX[v], pl.M.VY[v]))
-			for k, ax := range aux {
-				ax.Store(p, int(v), auxInit(k, pl.M.VX[v], pl.M.VY[v]))
+		lst := laneSlice(dec.OwnedVerts[node], lane, nodeP)
+		vals := buf(nf * len(lst))
+		for i, v := range lst {
+			vals[nf*i] = w.initialField(pl.M.VX[v], pl.M.VY[v])
+			for k := range aux {
+				vals[nf*i+1+k] = auxInit(k, pl.M.VX[v], pl.M.VY[v])
 			}
 		}
+		numa.ScatterFields(p, fields, lst, vals)
 		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(dec.OwnedVerts[node])/nodeP)
 	} else {
-		uOld := uOldArr[node]
-		auxOld := auxOldArr[node]
-		for _, v := range laneSlice(pl.LocalKeep[node], lane, nodeP) {
-			u.Store(p, int(v), uOld.Load(p, int(v)))
-			for k, ax := range aux {
-				ax.Store(p, int(v), auxOld[k].Load(p, int(v)))
-			}
-		}
+		oldFields := make([]*numa.Array[float64], 0, nf)
+		oldFields = append(append(oldFields, uOldArr[node]), auxOldArr[node]...)
+		numa.CopyFields(p, fields, oldFields, laneSlice(pl.LocalKeep[node], lane, nodeP))
 		if leader {
 			for dst := 0; dst < world.Size(); dst++ {
 				lst := pl.MoveSend[node][dst]
 				if len(lst) == 0 {
 					continue
 				}
-				vals := make([]float64, nf*len(lst))
-				for i, v := range lst {
-					vals[nf*i] = uOld.Load(p, int(v))
-					for k := range aux {
-						vals[nf*i+1+k] = auxOld[k].Load(p, int(v))
-					}
-				}
+				vals := buf(nf * len(lst))
+				numa.GatherFields(p, oldFields, lst, vals)
 				mp.Send(r, dst, tagMig, vals)
 			}
 			for src := 0; src < world.Size(); src++ {
@@ -198,26 +211,23 @@ func hybridCycle(p *sim.Proc, mach *machine.Machine, world *mp.World, w Workload
 				if len(lst) == 0 {
 					continue
 				}
-				vals := mp.Recv[float64](r, src, tagMig)
-				for i, v := range lst {
-					u.Store(p, int(v), vals[nf*i])
-					for k, ax := range aux {
-						ax.Store(p, int(v), vals[nf*i+1+k])
-					}
-				}
+				numa.ScatterFields(p, fields, lst, mp.Recv[float64](r, src, tagMig))
 			}
 		}
 		bar.Wait(p) // migrated values visible node-wide before interpolation
-		read := func(x int32) float64 { return u.Load(p, int(x)) }
+		cu := u.Cursor(p)
+		read := func(x int32) float64 { return cu.Load(int(x)) }
 		for _, v := range laneSlice(pl.InterpOwned[node], lane, nodeP) {
-			u.Store(p, int(v), pl.InterpValue(v, read))
+			cu.Store(int(v), pl.InterpValue(v, read))
 		}
+		cu.Flush()
 		for _, ax := range aux {
-			axv := ax
-			readAux := func(x int32) float64 { return axv.Load(p, int(x)) }
+			cax := ax.Cursor(p)
+			readAux := func(x int32) float64 { return cax.Load(int(x)) }
 			for _, v := range laneSlice(pl.InterpOwned[node], lane, nodeP) {
-				axv.Store(p, int(v), pl.InterpValue(v, readAux))
+				cax.Store(int(v), pl.InterpValue(v, readAux))
 			}
+			cax.Flush()
 		}
 		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(pl.InterpOwned[node])/nodeP)
 	}
@@ -227,30 +237,38 @@ func hybridCycle(p *sim.Proc, mach *machine.Machine, world *mp.World, w Workload
 	// --- solve
 	p.SetPhase(sim.PhaseCompute)
 	if leader {
-		mpGhostExchange(r, pl, u)
+		mpGhostExchange(r, pl, u, &scratch)
 	}
 	bar.Wait(p)
 	leaderAcc := accLane[p.ID()-lane] // lane 0's accumulator of this node
+	ea := laneSlice(pl.EdgeA[node], lane, nodeP)
+	eb := laneSlice(pl.EdgeB[node], lane, nodeP)
 	for it := 0; it < w.SolveIters; it++ {
-		for _, v := range pl.Clear[node] {
-			acc.Store(p, int(v), 0)
+		acc.FillIdx(p, pl.Clear[node], 0)
+		cu := u.Cursor(p)
+		ca := acc.Cursor(p)
+		for j := range ea {
+			a, b := int(ea[j]), int(eb[j])
+			f := solver.Flux(cu.Load(a), cu.Load(b))
+			ca.Store(a, ca.Load(a)+f)
+			ca.Store(b, ca.Load(b)-f)
 		}
-		for _, e := range laneSlice(dec.OwnedEdges[node], lane, nodeP) {
-			a, b := pl.M.Edges[e][0], pl.M.Edges[e][1]
-			f := solver.Flux(u.Load(p, int(a)), u.Load(p, int(b)))
-			acc.Store(p, int(a), acc.Load(p, int(a))+f)
-			acc.Store(p, int(b), acc.Load(p, int(b))-f)
-			p.Advance(sim.Time(solver.FluxOps) * opNS)
-		}
+		cu.Flush()
+		ca.Flush()
+		p.Advance(sim.Time(len(ea)*solver.FluxOps) * opNS)
 		bar.Wait(p)
 		if leader {
 			// Combine the lanes' partials into the leader's accumulator, in
 			// lane order, then run the node-level exchange.
 			for ln := 1; ln < nodeP; ln++ {
-				other := accLane[p.ID()+ln]
+				cacc := acc.Cursor(p)
+				coth := accLane[p.ID()+ln].Cursor(p)
 				for _, v := range pl.Clear[node] {
-					acc.Store(p, int(v), acc.Load(p, int(v))+other.Load(p, int(v)))
+					i := int(v)
+					cacc.Store(i, cacc.Load(i)+coth.Load(i))
 				}
+				cacc.Flush()
+				coth.Flush()
 			}
 			phc := p.SetPhase(sim.PhaseComm)
 			for q := 0; q < world.Size(); q++ {
@@ -258,10 +276,8 @@ func hybridCycle(p *sim.Proc, mach *machine.Machine, world *mp.World, w Workload
 				if len(lst) == 0 {
 					continue
 				}
-				vals := make([]float64, len(lst))
-				for i, v := range lst {
-					vals[i] = acc.Load(p, int(v))
-				}
+				vals := buf(len(lst))
+				acc.GatherIdx(p, lst, vals)
 				mp.Send(r, q, tagPartial, vals)
 			}
 			for q := 0; q < world.Size(); q++ {
@@ -269,21 +285,24 @@ func hybridCycle(p *sim.Proc, mach *machine.Machine, world *mp.World, w Workload
 				if len(lst) == 0 {
 					continue
 				}
-				vals := mp.Recv[float64](r, q, tagPartial)
-				for i, v := range lst {
-					acc.Store(p, int(v), acc.Load(p, int(v))+vals[i])
-				}
+				numa.AddIdx(p, acc, lst, mp.Recv[float64](r, q, tagPartial))
 			}
 			p.SetPhase(phc)
 		}
 		bar.Wait(p)
-		for _, v := range laneSlice(dec.OwnedVerts[node], lane, nodeP) {
-			u.Store(p, int(v), solver.Update(u.Load(p, int(v)), leaderAcc.Load(p, int(v)), pl.Deg[v]))
-			p.Advance(sim.Time(solver.UpdateOps) * opNS)
+		owned := laneSlice(dec.OwnedVerts[node], lane, nodeP)
+		cu = u.Cursor(p)
+		cla := leaderAcc.Cursor(p)
+		for _, v := range owned {
+			i := int(v)
+			cu.Store(i, solver.Update(cu.Load(i), cla.Load(i), pl.Deg[v]))
 		}
+		cu.Flush()
+		cla.Flush()
+		p.Advance(sim.Time(len(owned)*solver.UpdateOps) * opNS)
 		bar.Wait(p)
 		if leader {
-			mpGhostExchange(r, pl, u)
+			mpGhostExchange(r, pl, u, &scratch)
 		}
 		bar.Wait(p)
 	}
@@ -292,11 +311,20 @@ func hybridCycle(p *sim.Proc, mach *machine.Machine, world *mp.World, w Workload
 	var cs float64
 	if leader {
 		s := 0.0
+		cu := u.Cursor(p)
+		cax := make([]numa.Cursor[float64], len(aux))
+		for k, ax := range aux {
+			cax[k] = ax.Cursor(p)
+		}
 		for _, v := range dec.OwnedVerts[node] {
-			s += u.Load(p, int(v))
-			for _, ax := range aux {
-				s += ax.Load(p, int(v))
+			s += cu.Load(int(v))
+			for k := range cax {
+				s += cax[k].Load(int(v))
 			}
+		}
+		cu.Flush()
+		for k := range cax {
+			cax[k].Flush()
 		}
 		cs = mp.Allreduce1(r, s, mp.OpSum)
 	}

@@ -57,6 +57,18 @@ func runMP(mach *machine.Machine, w Workload, plans []*CyclePlan, g *sim.Group) 
 				checksum = cs
 			}
 		})
+		// The previous cycle's field arrays were last read by this cycle's
+		// remap; the accumulators die with the cycle. Recycle their host
+		// backing so the next cycle's allocations reuse it.
+		for q := 0; q < nprocs; q++ {
+			numa.Release(acc[q])
+			if uOld != nil {
+				numa.Release(uOld[q])
+				for _, ax := range auxOld[q] {
+					numa.Release(ax)
+				}
+			}
+		}
 		uOld = uNew
 		auxOld = auxNew
 	}
@@ -90,35 +102,37 @@ func mpCycle(r *mp.Rank, mach *machine.Machine, w Workload, pl, prev *CyclePlan,
 	// the vertices created by this cycle's refinement.
 	ph = p.SetPhase(sim.PhaseRemap)
 	nf := 1 + w.AuxFields // values migrated per vertex
+	fields := make([]*numa.Array[float64], 0, nf)
+	fields = append(append(fields, u), aux...)
+	var scratch []float64
+	buf := func(n int) []float64 {
+		if cap(scratch) < n {
+			scratch = make([]float64, n)
+		}
+		return scratch[:n]
+	}
 	if prev == nil {
-		for _, v := range dec.OwnedVerts[me] {
-			u.Store(p, int(v), w.initialField(pl.M.VX[v], pl.M.VY[v]))
-			for k, ax := range aux {
-				ax.Store(p, int(v), auxInit(k, pl.M.VX[v], pl.M.VY[v]))
+		lst := dec.OwnedVerts[me]
+		vals := buf(nf * len(lst))
+		for i, v := range lst {
+			vals[nf*i] = w.initialField(pl.M.VX[v], pl.M.VY[v])
+			for k := range aux {
+				vals[nf*i+1+k] = auxInit(k, pl.M.VX[v], pl.M.VY[v])
 			}
 		}
-		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(dec.OwnedVerts[me]))
+		numa.ScatterFields(p, fields, lst, vals)
+		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(lst))
 	} else {
-		uOld := uOldArr[me]
-		auxOld := auxOldArr[me]
-		for _, v := range pl.LocalKeep[me] {
-			u.Store(p, int(v), uOld.Load(p, int(v)))
-			for k, ax := range aux {
-				ax.Store(p, int(v), auxOld[k].Load(p, int(v)))
-			}
-		}
+		oldFields := make([]*numa.Array[float64], 0, nf)
+		oldFields = append(append(oldFields, uOldArr[me]), auxOldArr[me]...)
+		numa.CopyFields(p, fields, oldFields, pl.LocalKeep[me])
 		for dst := 0; dst < r.Size(); dst++ {
 			lst := pl.MoveSend[me][dst]
 			if len(lst) == 0 {
 				continue
 			}
-			vals := make([]float64, nf*len(lst))
-			for i, v := range lst {
-				vals[nf*i] = uOld.Load(p, int(v))
-				for k := range aux {
-					vals[nf*i+1+k] = auxOld[k].Load(p, int(v))
-				}
-			}
+			vals := buf(nf * len(lst))
+			numa.GatherFields(p, oldFields, lst, vals)
 			mp.Send(r, dst, tagMig, vals)
 		}
 		for src := 0; src < r.Size(); src++ {
@@ -126,24 +140,21 @@ func mpCycle(r *mp.Rank, mach *machine.Machine, w Workload, pl, prev *CyclePlan,
 			if len(lst) == 0 {
 				continue
 			}
-			vals := mp.Recv[float64](r, src, tagMig)
-			for i, v := range lst {
-				u.Store(p, int(v), vals[nf*i])
-				for k, ax := range aux {
-					ax.Store(p, int(v), vals[nf*i+1+k])
-				}
-			}
+			numa.ScatterFields(p, fields, lst, mp.Recv[float64](r, src, tagMig))
 		}
-		read := func(x int32) float64 { return u.Load(p, int(x)) }
+		cu := u.Cursor(p)
+		read := func(x int32) float64 { return cu.Load(int(x)) }
 		for _, v := range pl.InterpOwned[me] {
-			u.Store(p, int(v), pl.InterpValue(v, read))
+			cu.Store(int(v), pl.InterpValue(v, read))
 		}
-		for k, ax := range aux {
-			readAux := func(x int32) float64 { return ax.Load(p, int(x)) }
-			_ = k
+		cu.Flush()
+		for _, ax := range aux {
+			cax := ax.Cursor(p)
+			readAux := func(x int32) float64 { return cax.Load(int(x)) }
 			for _, v := range pl.InterpOwned[me] {
-				ax.Store(p, int(v), pl.InterpValue(v, readAux))
+				cax.Store(int(v), pl.InterpValue(v, readAux))
 			}
+			cax.Flush()
 		}
 		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(pl.InterpOwned[me]))
 	}
@@ -151,19 +162,22 @@ func mpCycle(r *mp.Rank, mach *machine.Machine, w Workload, pl, prev *CyclePlan,
 
 	// --- solve: edge-based sweeps with owner-accumulation exchanges.
 	p.SetPhase(sim.PhaseCompute)
-	mpGhostExchange(r, pl, u)
+	mpGhostExchange(r, pl, u, &scratch)
 	opNS := mach.Cfg.OpNS
+	ea, eb := pl.EdgeA[me], pl.EdgeB[me]
 	for it := 0; it < w.SolveIters; it++ {
-		for _, v := range pl.Clear[me] {
-			acc.Store(p, int(v), 0)
+		acc.FillIdx(p, pl.Clear[me], 0)
+		cu := u.Cursor(p)
+		ca := acc.Cursor(p)
+		for j := range ea {
+			a, b := int(ea[j]), int(eb[j])
+			f := solver.Flux(cu.Load(a), cu.Load(b))
+			ca.Store(a, ca.Load(a)+f)
+			ca.Store(b, ca.Load(b)-f)
 		}
-		for _, e := range dec.OwnedEdges[me] {
-			a, b := pl.M.Edges[e][0], pl.M.Edges[e][1]
-			f := solver.Flux(u.Load(p, int(a)), u.Load(p, int(b)))
-			acc.Store(p, int(a), acc.Load(p, int(a))+f)
-			acc.Store(p, int(b), acc.Load(p, int(b))-f)
-			p.Advance(sim.Time(solver.FluxOps) * opNS)
-		}
+		cu.Flush()
+		ca.Flush()
+		p.Advance(sim.Time(len(ea)*solver.FluxOps) * opNS)
 		// Partial sums to vertex owners.
 		phc := p.SetPhase(sim.PhaseComm)
 		for q := 0; q < r.Size(); q++ {
@@ -171,10 +185,8 @@ func mpCycle(r *mp.Rank, mach *machine.Machine, w Workload, pl, prev *CyclePlan,
 			if len(lst) == 0 {
 				continue
 			}
-			vals := make([]float64, len(lst))
-			for i, v := range lst {
-				vals[i] = acc.Load(p, int(v))
-			}
+			vals := buf(len(lst))
+			acc.GatherIdx(p, lst, vals)
 			mp.Send(r, q, tagPartial, vals)
 		}
 		for q := 0; q < r.Size(); q++ {
@@ -182,34 +194,48 @@ func mpCycle(r *mp.Rank, mach *machine.Machine, w Workload, pl, prev *CyclePlan,
 			if len(lst) == 0 {
 				continue
 			}
-			vals := mp.Recv[float64](r, q, tagPartial)
-			for i, v := range lst {
-				acc.Store(p, int(v), acc.Load(p, int(v))+vals[i])
-			}
+			numa.AddIdx(p, acc, lst, mp.Recv[float64](r, q, tagPartial))
 		}
 		p.SetPhase(phc)
-		for _, v := range dec.OwnedVerts[me] {
-			u.Store(p, int(v), solver.Update(u.Load(p, int(v)), acc.Load(p, int(v)), pl.Deg[v]))
-			p.Advance(sim.Time(solver.UpdateOps) * opNS)
+		owned := dec.OwnedVerts[me]
+		cu = u.Cursor(p)
+		ca = acc.Cursor(p)
+		for _, v := range owned {
+			i := int(v)
+			cu.Store(i, solver.Update(cu.Load(i), ca.Load(i), pl.Deg[v]))
 		}
-		mpGhostExchange(r, pl, u)
+		cu.Flush()
+		ca.Flush()
+		p.Advance(sim.Time(len(owned)*solver.UpdateOps) * opNS)
+		mpGhostExchange(r, pl, u, &scratch)
 	}
 
 	// Deterministic digest: per-rank owned sums (solved + auxiliary state)
 	// combined in rank order.
 	s := 0.0
+	cu := u.Cursor(p)
+	cax := make([]numa.Cursor[float64], len(aux))
+	for k, ax := range aux {
+		cax[k] = ax.Cursor(p)
+	}
 	for _, v := range dec.OwnedVerts[me] {
-		s += u.Load(p, int(v))
-		for _, ax := range aux {
-			s += ax.Load(p, int(v))
+		s += cu.Load(int(v))
+		for k := range cax {
+			s += cax[k].Load(int(v))
 		}
+	}
+	cu.Flush()
+	for k := range cax {
+		cax[k].Flush()
 	}
 	return mp.Allreduce1(r, s, mp.OpSum)
 }
 
 // mpGhostExchange sends each neighbour the updated values of the vertices I
 // own that it touches, and refreshes my ghost copies from their owners.
-func mpGhostExchange(r *mp.Rank, pl *CyclePlan, u *numa.Array[float64]) {
+// scratch is the caller's staging buffer (mp.Send copies, so it is free to
+// reuse across destinations).
+func mpGhostExchange(r *mp.Rank, pl *CyclePlan, u *numa.Array[float64], scratch *[]float64) {
 	me := r.ID()
 	p := r.P
 	dec := pl.Dec
@@ -219,10 +245,11 @@ func mpGhostExchange(r *mp.Rank, pl *CyclePlan, u *numa.Array[float64]) {
 		if len(lst) == 0 {
 			continue
 		}
-		vals := make([]float64, len(lst))
-		for i, v := range lst {
-			vals[i] = u.Load(p, int(v))
+		if cap(*scratch) < len(lst) {
+			*scratch = make([]float64, len(lst))
 		}
+		vals := (*scratch)[:len(lst)]
+		u.GatherIdx(p, lst, vals)
 		mp.Send(r, q, tagGhost, vals)
 	}
 	for q := 0; q < r.Size(); q++ {
@@ -230,9 +257,6 @@ func mpGhostExchange(r *mp.Rank, pl *CyclePlan, u *numa.Array[float64]) {
 		if len(lst) == 0 {
 			continue
 		}
-		vals := mp.Recv[float64](r, q, tagGhost)
-		for i, v := range lst {
-			u.Store(p, int(v), vals[i])
-		}
+		u.ScatterIdx(p, lst, mp.Recv[float64](r, q, tagGhost))
 	}
 }

@@ -47,6 +47,14 @@ type CyclePlan struct {
 	// everything its edges touch plus everything it owns, ascending.
 	Clear [][]int32
 
+	// EdgeA/EdgeB[p] are the endpoint vertex IDs of p's owned edges,
+	// index-aligned with Dec.OwnedEdges[p]: the flux sweep's
+	// structure-of-arrays view, which replaces the per-edge double
+	// indirection through M.Edges in every model's inner loop. Host-side
+	// layout only — the costed accesses are to the field arrays the
+	// endpoints index.
+	EdgeA, EdgeB [][]int32
+
 	Imbalance float64
 	Remap     partition.RemapStats
 
@@ -267,12 +275,19 @@ func (p *CyclePlan) buildMigration(nprocs int) {
 // endpoints of owned edges plus owned vertices.
 func (p *CyclePlan) buildClearLists(nprocs int) {
 	p.Clear = make([][]int32, nprocs)
+	p.EdgeA = make([][]int32, nprocs)
+	p.EdgeB = make([][]int32, nprocs)
 	mark := make([]int32, p.NV)
 	for i := range mark {
 		mark[i] = -1
 	}
 	for q := 0; q < nprocs; q++ {
+		ne := len(p.Dec.OwnedEdges[q])
+		ea := make([]int32, 0, ne)
+		eb := make([]int32, 0, ne)
 		for _, e := range p.Dec.OwnedEdges[q] {
+			ea = append(ea, p.M.Edges[e][0])
+			eb = append(eb, p.M.Edges[e][1])
 			for _, v := range p.M.Edges[e] {
 				if mark[v] != int32(q) {
 					mark[v] = int32(q)
@@ -280,6 +295,7 @@ func (p *CyclePlan) buildClearLists(nprocs int) {
 				}
 			}
 		}
+		p.EdgeA[q], p.EdgeB[q] = ea, eb
 		for _, v := range p.Dec.OwnedVerts[q] {
 			if mark[v] != int32(q) {
 				mark[v] = int32(q)

@@ -121,6 +121,10 @@ func runSAS(mach *machine.Machine, w Workload, plans []*CyclePlan, g *sim.Group)
 				checksum = cs
 			}
 		})
+		// The contribution buffer dies with the cycle; its write-sets were
+		// merged at the cycle's final barrier, so its host backing can be
+		// recycled into the next cycle's (larger) buffer.
+		numa.Release(contrib)
 	}
 	return finishMetrics(core.SAS, g, sp, plans, 2+w.AuxFields, checksum)
 }
@@ -154,26 +158,35 @@ func sasCycle(c *sas.Ctx, mach *machine.Machine, w Workload, pl, prev *CyclePlan
 	// their owners, reading parent values straight out of the shared field.
 	nf := 1 + w.AuxFields
 	ph = p.SetPhase(sim.PhaseRemap)
+	fields := make([]*numa.Array[float64], 0, nf)
+	fields = append(append(fields, u), aux...)
 	if prev == nil {
-		for _, v := range dec.OwnedVerts[me] {
-			u.Store(p, int(v), w.initialField(pl.M.VX[v], pl.M.VY[v]))
-			for k, ax := range aux {
-				ax.Store(p, int(v), auxInit(k, pl.M.VX[v], pl.M.VY[v]))
+		lst := dec.OwnedVerts[me]
+		vals := make([]float64, nf*len(lst))
+		for i, v := range lst {
+			vals[nf*i] = w.initialField(pl.M.VX[v], pl.M.VY[v])
+			for k := range aux {
+				vals[nf*i+1+k] = auxInit(k, pl.M.VX[v], pl.M.VY[v])
 			}
 		}
-		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(dec.OwnedVerts[me]))
+		numa.ScatterFields(p, fields, lst, vals)
+		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(lst))
 	} else {
 		// Nothing migrates: old values (solved and auxiliary) are already in
 		// the shared arrays; only the new vertices need interpolation.
-		read := func(x int32) float64 { return u.Load(p, int(x)) }
+		cu := u.Cursor(p)
+		read := func(x int32) float64 { return cu.Load(int(x)) }
 		for _, v := range pl.InterpOwned[me] {
-			u.Store(p, int(v), pl.InterpValue(v, read))
+			cu.Store(int(v), pl.InterpValue(v, read))
 		}
+		cu.Flush()
 		for _, ax := range aux {
-			readAux := func(x int32) float64 { return ax.Load(p, int(x)) }
+			cax := ax.Cursor(p)
+			readAux := func(x int32) float64 { return cax.Load(int(x)) }
 			for _, v := range pl.InterpOwned[me] {
-				ax.Store(p, int(v), pl.InterpValue(v, readAux))
+				cax.Store(int(v), pl.InterpValue(v, readAux))
 			}
+			cax.Flush()
 		}
 		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(pl.InterpOwned[me]))
 	}
@@ -183,46 +196,56 @@ func sasCycle(c *sas.Ctx, mach *machine.Machine, w Workload, pl, prev *CyclePlan
 	// --- solve
 	p.SetPhase(sim.PhaseCompute)
 	opNS := mach.Cfg.OpNS
+	ea, eb := pl.EdgeA[me], pl.EdgeB[me]
 	for it := 0; it < w.SolveIters; it++ {
-		for _, v := range pl.Clear[me] {
-			acc.Store(p, int(v), 0)
+		acc.FillIdx(p, pl.Clear[me], 0)
+		cu := u.Cursor(p)
+		ca := acc.Cursor(p)
+		for j := range ea {
+			a, b := int(ea[j]), int(eb[j])
+			f := solver.Flux(cu.Load(a), cu.Load(b))
+			ca.Store(a, ca.Load(a)+f)
+			ca.Store(b, ca.Load(b)-f)
 		}
-		for _, e := range dec.OwnedEdges[me] {
-			a, b := pl.M.Edges[e][0], pl.M.Edges[e][1]
-			f := solver.Flux(u.Load(p, int(a)), u.Load(p, int(b)))
-			acc.Store(p, int(a), acc.Load(p, int(a))+f)
-			acc.Store(p, int(b), acc.Load(p, int(b))-f)
-			p.Advance(sim.Time(solver.FluxOps) * opNS)
-		}
+		cu.Flush()
+		ca.Flush()
+		p.Advance(sim.Time(len(ea)*solver.FluxOps) * opNS)
 		// Publish partial sums for foreign-owned vertices.
 		for q := 0; q < c.Size(); q++ {
-			lst := dec.Border[me][q]
-			off := lay.off[me][q]
-			for i, v := range lst {
-				contrib.Store(p, off+i, acc.Load(p, int(v)))
-			}
+			numa.PackIdx(p, contrib, lay.off[me][q], acc, dec.Border[me][q])
 		}
 		c.Barrier()
 		for q := 0; q < c.Size(); q++ {
-			lst := dec.Border[q][me]
-			off := lay.off[q][me]
-			for i, v := range lst {
-				acc.Store(p, int(v), acc.Load(p, int(v))+contrib.Load(p, off+i))
-			}
+			numa.AddGather(p, acc, dec.Border[q][me], contrib, lay.off[q][me])
 		}
-		for _, v := range dec.OwnedVerts[me] {
-			u.Store(p, int(v), solver.Update(u.Load(p, int(v)), acc.Load(p, int(v)), pl.Deg[v]))
-			p.Advance(sim.Time(solver.UpdateOps) * opNS)
+		owned := dec.OwnedVerts[me]
+		cu = u.Cursor(p)
+		ca = acc.Cursor(p)
+		for _, v := range owned {
+			i := int(v)
+			cu.Store(i, solver.Update(cu.Load(i), ca.Load(i), pl.Deg[v]))
 		}
+		cu.Flush()
+		ca.Flush()
+		p.Advance(sim.Time(len(owned)*solver.UpdateOps) * opNS)
 		c.Barrier()
 	}
 
 	s := 0.0
+	cu := u.Cursor(p)
+	cax := make([]numa.Cursor[float64], len(aux))
+	for k, ax := range aux {
+		cax[k] = ax.Cursor(p)
+	}
 	for _, v := range dec.OwnedVerts[me] {
-		s += u.Load(p, int(v))
-		for _, ax := range aux {
-			s += ax.Load(p, int(v))
+		s += cu.Load(int(v))
+		for k := range cax {
+			s += cax[k].Load(int(v))
 		}
+	}
+	cu.Flush()
+	for k := range cax {
+		cax[k].Flush()
 	}
 	return sas.Allreduce1(c, s, sas.OpSum)
 }

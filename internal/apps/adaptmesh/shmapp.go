@@ -89,6 +89,18 @@ func runSHMEM(mach *machine.Machine, w Workload, plans []*CyclePlan, g *sim.Grou
 				checksum = cs
 			}
 		})
+		// All puts into these blocks completed at the cycle's final barrier:
+		// recycle the staging blocks, the accumulator, and the previous
+		// cycle's field arrays (last read by this cycle's remap).
+		shm.Free(acc)
+		shm.Free(contrib)
+		shm.Free(mig)
+		if prevU != nil {
+			shm.Free(prevU)
+			for _, ax := range prevAux {
+				shm.Free(ax)
+			}
+		}
 		uOld = uNew
 		auxOld = auxNew
 	}
@@ -127,59 +139,62 @@ func shmCycle(pe *shm.PE, mach *machine.Machine, w Workload, pl, prev *CyclePlan
 	for k := range aux {
 		auxL[k] = aux[k].Local(pe)
 	}
+	fields := make([]*numa.Array[float64], 0, nf)
+	fields = append(append(fields, uL), auxL...)
+	var scratch []float64
+	buf := func(n int) []float64 {
+		if cap(scratch) < n {
+			scratch = make([]float64, n)
+		}
+		return scratch[:n]
+	}
 	if prev == nil {
-		for _, v := range dec.OwnedVerts[me] {
-			uL.Store(p, int(v), w.initialField(pl.M.VX[v], pl.M.VY[v]))
+		lst := dec.OwnedVerts[me]
+		vals := buf(nf * len(lst))
+		for i, v := range lst {
+			vals[nf*i] = w.initialField(pl.M.VX[v], pl.M.VY[v])
 			for k := range auxL {
-				auxL[k].Store(p, int(v), auxInit(k, pl.M.VX[v], pl.M.VY[v]))
+				vals[nf*i+1+k] = auxInit(k, pl.M.VX[v], pl.M.VY[v])
 			}
 		}
-		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(dec.OwnedVerts[me]))
+		numa.ScatterFields(p, fields, lst, vals)
+		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(lst))
 		pe.Barrier()
 	} else {
-		uOldL := uOld.Local(pe)
-		for _, v := range pl.LocalKeep[me] {
-			uL.Store(p, int(v), uOldL.Load(p, int(v)))
-			for k := range auxL {
-				auxL[k].Store(p, int(v), auxOld[k].Local(pe).Load(p, int(v)))
-			}
+		oldFields := make([]*numa.Array[float64], 0, nf)
+		oldFields = append(oldFields, uOld.Local(pe))
+		for k := range auxOld {
+			oldFields = append(oldFields, auxOld[k].Local(pe))
 		}
+		numa.CopyFields(p, fields, oldFields, pl.LocalKeep[me])
 		for dst := 0; dst < pe.Size(); dst++ {
 			lst := pl.MoveSend[me][dst]
 			if len(lst) == 0 {
 				continue
 			}
-			vals := make([]float64, nf*len(lst))
-			for i, v := range lst {
-				vals[nf*i] = uOldL.Load(p, int(v))
-				for k := range auxL {
-					vals[nf*i+1+k] = auxOld[k].Local(pe).Load(p, int(v))
-				}
-			}
+			vals := buf(nf * len(lst))
+			numa.GatherFields(p, oldFields, lst, vals)
 			shm.Put(pe, mig, dst, nf*lay.offMig[dst][me], vals)
 		}
 		pe.Barrier()
 		migL := mig.Local(pe)
 		for src := 0; src < pe.Size(); src++ {
 			lst := pl.MoveSend[src][me]
-			off := nf * lay.offMig[me][src]
-			for i, v := range lst {
-				uL.Store(p, int(v), migL.Load(p, off+nf*i))
-				for k := range auxL {
-					auxL[k].Store(p, int(v), migL.Load(p, off+nf*i+1+k))
-				}
-			}
+			numa.UnpackFields(p, migL, nf*lay.offMig[me][src], fields, lst)
 		}
-		read := func(x int32) float64 { return uL.Load(p, int(x)) }
+		cu := uL.Cursor(p)
+		read := func(x int32) float64 { return cu.Load(int(x)) }
 		for _, v := range pl.InterpOwned[me] {
-			uL.Store(p, int(v), pl.InterpValue(v, read))
+			cu.Store(int(v), pl.InterpValue(v, read))
 		}
+		cu.Flush()
 		for k := range auxL {
-			ax := auxL[k]
-			readAux := func(x int32) float64 { return ax.Load(p, int(x)) }
+			cax := auxL[k].Cursor(p)
+			readAux := func(x int32) float64 { return cax.Load(int(x)) }
 			for _, v := range pl.InterpOwned[me] {
-				ax.Store(p, int(v), pl.InterpValue(v, readAux))
+				cax.Store(int(v), pl.InterpValue(v, readAux))
 			}
+			cax.Flush()
 		}
 		chargeOps(p, mach, sim.PhaseRemap, solver.InterpOps*nf*len(pl.InterpOwned[me]))
 	}
@@ -187,20 +202,23 @@ func shmCycle(pe *shm.PE, mach *machine.Machine, w Workload, pl, prev *CyclePlan
 
 	// --- solve
 	p.SetPhase(sim.PhaseCompute)
-	shmGhostPush(pe, pl, u, uL)
+	shmGhostPush(pe, pl, u, uL, &scratch)
 	pe.Barrier()
 	opNS := mach.Cfg.OpNS
+	ea, eb := pl.EdgeA[me], pl.EdgeB[me]
 	for it := 0; it < w.SolveIters; it++ {
-		for _, v := range pl.Clear[me] {
-			accL.Store(p, int(v), 0)
+		accL.FillIdx(p, pl.Clear[me], 0)
+		cu := uL.Cursor(p)
+		ca := accL.Cursor(p)
+		for j := range ea {
+			a, b := int(ea[j]), int(eb[j])
+			f := solver.Flux(cu.Load(a), cu.Load(b))
+			ca.Store(a, ca.Load(a)+f)
+			ca.Store(b, ca.Load(b)-f)
 		}
-		for _, e := range dec.OwnedEdges[me] {
-			a, b := pl.M.Edges[e][0], pl.M.Edges[e][1]
-			f := solver.Flux(uL.Load(p, int(a)), uL.Load(p, int(b)))
-			accL.Store(p, int(a), accL.Load(p, int(a))+f)
-			accL.Store(p, int(b), accL.Load(p, int(b))-f)
-			p.Advance(sim.Time(solver.FluxOps) * opNS)
-		}
+		cu.Flush()
+		ca.Flush()
+		p.Advance(sim.Time(len(ea)*solver.FluxOps) * opNS)
 		// Push partial sums into the owners' contribution blocks.
 		phc := p.SetPhase(sim.PhaseComm)
 		for q := 0; q < pe.Size(); q++ {
@@ -208,44 +226,54 @@ func shmCycle(pe *shm.PE, mach *machine.Machine, w Workload, pl, prev *CyclePlan
 			if len(lst) == 0 {
 				continue
 			}
-			vals := make([]float64, len(lst))
-			for i, v := range lst {
-				vals[i] = accL.Load(p, int(v))
-			}
+			vals := buf(len(lst))
+			accL.GatherIdx(p, lst, vals)
 			shm.Put(pe, contrib, q, lay.offIn[q][me], vals)
 		}
 		p.SetPhase(phc)
 		pe.Barrier()
 		contribL := contrib.Local(pe)
 		for q := 0; q < pe.Size(); q++ {
-			lst := dec.Border[q][me]
-			off := lay.offIn[me][q]
-			for i, v := range lst {
-				accL.Store(p, int(v), accL.Load(p, int(v))+contribL.Load(p, off+i))
-			}
+			numa.AddGather(p, accL, dec.Border[q][me], contribL, lay.offIn[me][q])
 		}
-		for _, v := range dec.OwnedVerts[me] {
-			uL.Store(p, int(v), solver.Update(uL.Load(p, int(v)), accL.Load(p, int(v)), pl.Deg[v]))
-			p.Advance(sim.Time(solver.UpdateOps) * opNS)
+		owned := dec.OwnedVerts[me]
+		cu = uL.Cursor(p)
+		ca = accL.Cursor(p)
+		for _, v := range owned {
+			i := int(v)
+			cu.Store(i, solver.Update(cu.Load(i), ca.Load(i), pl.Deg[v]))
 		}
-		shmGhostPush(pe, pl, u, uL)
+		cu.Flush()
+		ca.Flush()
+		p.Advance(sim.Time(len(owned)*solver.UpdateOps) * opNS)
+		shmGhostPush(pe, pl, u, uL, &scratch)
 		pe.Barrier()
 	}
 
 	s := 0.0
+	cu := uL.Cursor(p)
+	cax := make([]numa.Cursor[float64], len(auxL))
+	for k := range auxL {
+		cax[k] = auxL[k].Cursor(p)
+	}
 	for _, v := range dec.OwnedVerts[me] {
-		s += uL.Load(p, int(v))
-		for k := range auxL {
-			s += auxL[k].Load(p, int(v))
+		s += cu.Load(int(v))
+		for k := range cax {
+			s += cax[k].Load(int(v))
 		}
+	}
+	cu.Flush()
+	for k := range cax {
+		cax[k].Flush()
 	}
 	return shm.Allreduce1(pe, s, shm.OpSum)
 }
 
 // shmGhostPush writes my owned vertices' updated values straight into each
 // neighbour's field block with indexed puts; the following barrier makes
-// them visible.
-func shmGhostPush(pe *shm.PE, pl *CyclePlan, u *shm.Sym[float64], uL *numa.Array[float64]) {
+// them visible. scratch is the caller's staging buffer (PutIdx copies out
+// before returning, so reuse across targets is safe).
+func shmGhostPush(pe *shm.PE, pl *CyclePlan, u *shm.Sym[float64], uL *numa.Array[float64], scratch *[]float64) {
 	me := pe.ID()
 	p := pe.P
 	dec := pl.Dec
@@ -255,10 +283,11 @@ func shmGhostPush(pe *shm.PE, pl *CyclePlan, u *shm.Sym[float64], uL *numa.Array
 		if len(lst) == 0 {
 			continue
 		}
-		vals := make([]float64, len(lst))
-		for i, v := range lst {
-			vals[i] = uL.Load(p, int(v))
+		if cap(*scratch) < len(lst) {
+			*scratch = make([]float64, len(lst))
 		}
+		vals := (*scratch)[:len(lst)]
+		uL.GatherIdx(p, lst, vals)
 		shm.PutIdx(pe, u, q, lst, vals)
 	}
 }

@@ -39,13 +39,21 @@ func runMP(mach *machine.Machine, w Workload, plans []*StepPlan, g *sim.Group) c
 	// Replicated initialization: every rank fills its full copy.
 	g.Run(func(p *sim.Proc) {
 		s := st[p.ID()]
+		cx, cy := s.x.Cursor(p), s.y.Cursor(p)
+		cvx, cvy := s.vx.Cursor(p), s.vy.Cursor(p)
+		cm := s.m.Cursor(p)
 		for i := 0; i < w.N; i++ {
-			s.x.Store(p, i, b0.X[i])
-			s.y.Store(p, i, b0.Y[i])
-			s.vx.Store(p, i, b0.VX[i])
-			s.vy.Store(p, i, b0.VY[i])
-			s.m.Store(p, i, b0.M[i])
+			cx.Store(i, b0.X[i])
+			cy.Store(i, b0.Y[i])
+			cvx.Store(i, b0.VX[i])
+			cvy.Store(i, b0.VY[i])
+			cm.Store(i, b0.M[i])
 		}
+		cx.Flush()
+		cy.Flush()
+		cvx.Flush()
+		cvy.Flush()
+		cm.Flush()
 	})
 
 	var checksum float64
@@ -54,95 +62,112 @@ func runMP(mach *machine.Machine, w Workload, plans []*StepPlan, g *sim.Group) c
 		for q := 0; q < nprocs; q++ {
 			cells[q] = numa.NewPrivate[float64](sp, q, 3*pl.Tree.NumCells())
 		}
+		// The cell centre-of-mass values are identical on every rank; flatten
+		// them once host-side so each rank stores them as one range.
+		flat := flattenCells(pl.Tree)
 		g.Run(func(p *sim.Proc) {
-			cs := mpStep(world.Rank(p), mach, w, pl, st[p.ID()], cells[p.ID()])
+			cs := mpStep(world.Rank(p), mach, w, pl, st[p.ID()], cells[p.ID()], flat)
 			if p.ID() == 0 {
 				checksum = cs
 			}
 		})
+		for q := 0; q < nprocs; q++ {
+			numa.Release(cells[q])
+		}
 	}
 	return finishMetrics(core.MP, g, sp, w, plans, mach, checksum)
 }
 
+// flattenCells packs the tree's centre-of-mass records as (cx, cy, cm)
+// triples — the value stream every replicated-tree store loop writes.
+func flattenCells(t *nbody.Tree) []float64 {
+	flat := make([]float64, 3*t.NumCells())
+	for c := 0; c < t.NumCells(); c++ {
+		cc := &t.Cells[c]
+		flat[3*c] = cc.CX
+		flat[3*c+1] = cc.CY
+		flat[3*c+2] = cc.CM
+	}
+	return flat
+}
+
 func mpStep(r *mp.Rank, mach *machine.Machine, w Workload, pl *StepPlan,
-	s *mpState, cells *numa.Array[float64]) float64 {
+	s *mpState, cells *numa.Array[float64], flat []float64) float64 {
 
 	me := r.ID()
 	p := r.P
 	opNS := mach.Cfg.OpNS
-	t := pl.Tree
 
 	// --- tree: replicated build — every rank inserts every body and stores
-	// every cell's centre of mass.
+	// every cell's centre of mass (one span store: same ascending element
+	// order as the per-cell loop).
 	chargeOps(p, mach, sim.PhaseTree, treeOps*w.N*treeLevels(w.N))
 	phT := p.SetPhase(sim.PhaseTree)
-	for c := 0; c < t.NumCells(); c++ {
-		cc := &t.Cells[c]
-		cells.Store(p, 3*c, cc.CX)
-		cells.Store(p, 3*c+1, cc.CY)
-		cells.Store(p, 3*c+2, cc.CM)
-	}
+	cells.StoreRange(p, 0, flat)
 	p.SetPhase(phT)
 
 	// --- partition
 	chargePartitionStep(p, mach, w, r.Size())
 
-	// --- force
+	// --- force: replay the plan's precomputed traversal trace, charging each
+	// load against this rank's private copies.
 	p.SetPhase(sim.PhaseCompute)
-	readBody := func(j int32) (float64, float64, float64) {
-		return s.x.Load(p, int(j)), s.y.Load(p, int(j)), s.m.Load(p, int(j))
-	}
-	readCell := func(c int32) (float64, float64, float64) {
-		return cells.Load(p, int(3*c)), cells.Load(p, int(3*c+1)), cells.Load(p, int(3*c+2))
-	}
+	cx, cy, cm := s.x.Cursor(p), s.y.Cursor(p), s.m.Cursor(p)
+	ccl := cells.Cursor(p)
 	own := pl.OwnedBodies[me]
-	ax := make([]float64, len(own))
-	ay := make([]float64, len(own))
-	for k, i := range own {
-		bx, by := s.x.Load(p, int(i)), s.y.Load(p, int(i))
-		var inter int
-		ax[k], ay[k], inter = t.Accel(i, bx, by, w.Theta, readBody, readCell)
-		p.Advance(sim.Time(inter*forceOps) * opNS)
+	wp := pl.Walk.Ensure()
+	interTot := 0
+	for _, i := range own {
+		j := int(i)
+		if !cx.TryTouch(j) {
+			cx.TouchMiss(j)
+		}
+		if !cy.TryTouch(j) {
+			cy.TouchMiss(j)
+		}
+		replayWalk(wp, j, &cx, &cy, &cm, &ccl)
+		interTot += pl.Inter[j]
 	}
+	cm.Flush()
+	ccl.Flush()
+	p.Advance(sim.Time(interTot*forceOps) * opNS)
 
 	// --- update owned bodies (leapfrog).
-	for k, i := range own {
-		vx := s.vx.Load(p, int(i)) + ax[k]*nbody.DT
-		vy := s.vy.Load(p, int(i)) + ay[k]*nbody.DT
-		s.vx.Store(p, int(i), vx)
-		s.vy.Store(p, int(i), vy)
-		s.x.Store(p, int(i), s.x.Load(p, int(i))+vx*nbody.DT)
-		s.y.Store(p, int(i), s.y.Load(p, int(i))+vy*nbody.DT)
-		p.Advance(sim.Time(updateOps) * opNS)
+	cvx, cvy := s.vx.Cursor(p), s.vy.Cursor(p)
+	for _, i := range own {
+		j := int(i)
+		vx := cvx.Load(j) + wp.AX[j]*nbody.DT
+		vy := cvy.Load(j) + wp.AY[j]*nbody.DT
+		cvx.Store(j, vx)
+		cvy.Store(j, vy)
+		cx.Store(j, cx.Load(j)+vx*nbody.DT)
+		cy.Store(j, cy.Load(j)+vy*nbody.DT)
 	}
+	p.Advance(sim.Time(len(own)*updateOps) * opNS)
 
 	// --- exchange: allgather updated body state; unpack foreign entries.
+	cx.Flush()
+	cy.Flush()
+	cvx.Flush()
+	cvy.Flush()
 	phC := p.SetPhase(sim.PhaseComm)
+	fields := []*numa.Array[float64]{s.x, s.y, s.vx, s.vy}
 	vals := make([]float64, 4*len(own))
-	for k, i := range own {
-		vals[4*k] = s.x.Load(p, int(i))
-		vals[4*k+1] = s.y.Load(p, int(i))
-		vals[4*k+2] = s.vx.Load(p, int(i))
-		vals[4*k+3] = s.vy.Load(p, int(i))
-	}
+	numa.GatherFields(p, fields, own, vals)
 	all, offs := mp.Allgatherv(r, vals)
 	for q := 0; q < r.Size(); q++ {
 		if q == me {
 			continue
 		}
-		base := offs[q]
-		for k, i := range pl.OwnedBodies[q] {
-			s.x.Store(p, int(i), all[base+4*k])
-			s.y.Store(p, int(i), all[base+4*k+1])
-			s.vx.Store(p, int(i), all[base+4*k+2])
-			s.vy.Store(p, int(i), all[base+4*k+3])
-		}
+		numa.ScatterFields(p, fields, pl.OwnedBodies[q], all[offs[q]:])
 	}
 	p.SetPhase(phC)
 
 	sum := 0.0
 	for _, i := range own {
-		sum += s.x.Load(p, int(i)) + 2*s.y.Load(p, int(i))
+		sum += cx.Load(int(i)) + 2*cy.Load(int(i))
 	}
+	cx.Flush()
+	cy.Flush()
 	return mp.Allreduce1(r, sum, mp.OpSum)
 }

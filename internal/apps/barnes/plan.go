@@ -49,50 +49,16 @@ type StepPlan struct {
 	OwnedBodies [][]int32   // per proc, ascending body indices
 	Inter       []int       // per body, interactions evaluated this step
 	TotalInter  int
-	MaxProcWork int // largest per-proc interaction total (imbalance measure)
+	MaxProcWork int       // largest per-proc interaction total (imbalance measure)
+	Walk        *WalkPlan // lazy force-walk oracle, shared across processor counts
 }
 
 // BuildPlans runs the reference simulation and captures per-step plans for
-// nprocs processors.
+// nprocs processors. It is the one-shot form of the structure/plan split the
+// runner cache uses: capture the P-independent record once, derive the
+// partitioning for this processor count.
 func BuildPlans(w Workload, nprocs int) []*StepPlan {
-	b := nbody.NewPlummer(w.N, w.Seed)
-	cost := make([]float64, w.N)
-	for i := range cost {
-		cost[i] = 1
-	}
-	ax := make([]float64, w.N)
-	ay := make([]float64, w.N)
-	inter := make([]int, w.N)
-	plans := make([]*StepPlan, 0, w.Steps)
-	for s := 0; s < w.Steps; s++ {
-		t := nbody.Build(b)
-		owner := nbody.CostZones(b, cost, nprocs)
-		pl := &StepPlan{
-			Step:        s,
-			Tree:        t,
-			Owner:       owner,
-			OwnedBodies: make([][]int32, nprocs),
-			Inter:       make([]int, w.N),
-		}
-		for i := 0; i < w.N; i++ {
-			pl.OwnedBodies[owner[i]] = append(pl.OwnedBodies[owner[i]], int32(i))
-		}
-		nbody.Step(b, t, w.Theta, ax, ay, inter)
-		work := make([]int, nprocs)
-		for i := 0; i < w.N; i++ {
-			pl.Inter[i] = inter[i]
-			pl.TotalInter += inter[i]
-			work[owner[i]] += inter[i]
-			cost[i] = float64(inter[i])
-		}
-		for _, wk := range work {
-			if wk > pl.MaxProcWork {
-				pl.MaxProcWork = wk
-			}
-		}
-		plans = append(plans, pl)
-	}
-	return plans
+	return BuildStructure(w).Plans(nprocs)
 }
 
 // ReferenceChecksum returns the digest of the final reference body state.

@@ -42,13 +42,16 @@ func runSAS(mach *machine.Machine, w Workload, plans []*StepPlan, g *sim.Group) 
 	b0 := nbody.NewPlummer(w.N, w.Seed)
 	g.Run(func(p *sim.Proc) {
 		c := world.Ctx(p)
-		for _, i := range plans[0].OwnedBodies[c.ID()] {
-			st.x.Store(p, int(i), b0.X[i])
-			st.y.Store(p, int(i), b0.Y[i])
-			st.vx.Store(p, int(i), b0.VX[i])
-			st.vy.Store(p, int(i), b0.VY[i])
-			st.m.Store(p, int(i), b0.M[i])
+		own := plans[0].OwnedBodies[c.ID()]
+		vals := make([]float64, 5*len(own))
+		for k, i := range own {
+			vals[5*k] = b0.X[i]
+			vals[5*k+1] = b0.Y[i]
+			vals[5*k+2] = b0.VX[i]
+			vals[5*k+3] = b0.VY[i]
+			vals[5*k+4] = b0.M[i]
 		}
+		numa.ScatterFields(p, []*numa.Array[float64]{st.x, st.y, st.vx, st.vy, st.m}, own, vals)
 		c.Barrier()
 	})
 
@@ -62,6 +65,9 @@ func runSAS(mach *machine.Machine, w Workload, plans []*StepPlan, g *sim.Group) 
 				checksum = cs
 			}
 		})
+		// The cell array dies with the step; its write-sets merged at the
+		// step's final barrier.
+		numa.Release(cells)
 	}
 	return finishMetrics(core.SAS, g, sp, w, plans, mach, checksum)
 }
@@ -81,9 +87,7 @@ func sasStep(c *sas.Ctx, mach *machine.Machine, w Workload, pl *StepPlan,
 	lo, hi := c.Range(t.NumCells())
 	for cc := lo; cc < hi; cc++ {
 		cell := &t.Cells[cc]
-		cells.Store(p, 3*cc, cell.CX)
-		cells.Store(p, 3*cc+1, cell.CY)
-		cells.Store(p, 3*cc+2, cell.CM)
+		cells.Store3At(p, 3*cc, cell.CX, cell.CY, cell.CM)
 	}
 	p.SetPhase(phT)
 	c.Barrier()
@@ -91,42 +95,58 @@ func sasStep(c *sas.Ctx, mach *machine.Machine, w Workload, pl *StepPlan,
 	// --- partition
 	chargePartitionStep(p, mach, w, c.Size())
 
-	// --- force: read bodies and cells straight out of shared memory.
+	// --- force: read bodies and cells straight out of shared memory, through
+	// cursors so the whole tree walk charges one Advance per body list. The
+	// traversal itself is replayed from the plan's precomputed trace.
 	p.SetPhase(sim.PhaseCompute)
-	readBody := func(j int32) (float64, float64, float64) {
-		return s.x.Load(p, int(j)), s.y.Load(p, int(j)), s.m.Load(p, int(j))
-	}
-	readCell := func(cc int32) (float64, float64, float64) {
-		return cells.Load(p, int(3*cc)), cells.Load(p, int(3*cc+1)), cells.Load(p, int(3*cc+2))
-	}
+	cx, cy, cm := s.x.Cursor(p), s.y.Cursor(p), s.m.Cursor(p)
+	ccl := cells.Cursor(p)
 	own := pl.OwnedBodies[me]
-	ax := make([]float64, len(own))
-	ay := make([]float64, len(own))
-	for k, i := range own {
-		bx, by := s.x.Load(p, int(i)), s.y.Load(p, int(i))
-		var inter int
-		ax[k], ay[k], inter = t.Accel(i, bx, by, w.Theta, readBody, readCell)
-		p.Advance(sim.Time(inter*forceOps) * opNS)
+	wp := pl.Walk.Ensure()
+	interTot := 0
+	for _, i := range own {
+		j := int(i)
+		if !cx.TryTouch(j) {
+			cx.TouchMiss(j)
+		}
+		if !cy.TryTouch(j) {
+			cy.TouchMiss(j)
+		}
+		replayWalk(wp, j, &cx, &cy, &cm, &ccl)
+		interTot += pl.Inter[j]
 	}
+	cx.Flush()
+	cy.Flush()
+	cm.Flush()
+	ccl.Flush()
+	p.Advance(sim.Time(interTot*forceOps) * opNS)
 	// Everyone must finish reading positions before owners overwrite them.
 	c.Barrier()
 
 	// --- update owned bodies in place; the closing barrier publishes the
 	// new positions (and invalidates stale cached copies elsewhere).
-	for k, i := range own {
-		nvx := s.vx.Load(p, int(i)) + ax[k]*nbody.DT
-		nvy := s.vy.Load(p, int(i)) + ay[k]*nbody.DT
-		s.vx.Store(p, int(i), nvx)
-		s.vy.Store(p, int(i), nvy)
-		s.x.Store(p, int(i), s.x.Load(p, int(i))+nvx*nbody.DT)
-		s.y.Store(p, int(i), s.y.Load(p, int(i))+nvy*nbody.DT)
-		p.Advance(sim.Time(updateOps) * opNS)
+	cvx, cvy := s.vx.Cursor(p), s.vy.Cursor(p)
+	for _, i := range own {
+		j := int(i)
+		nvx := cvx.Load(j) + wp.AX[j]*nbody.DT
+		nvy := cvy.Load(j) + wp.AY[j]*nbody.DT
+		cvx.Store(j, nvx)
+		cvy.Store(j, nvy)
+		cx.Store(j, cx.Load(j)+nvx*nbody.DT)
+		cy.Store(j, cy.Load(j)+nvy*nbody.DT)
 	}
+	cvx.Flush()
+	cvy.Flush()
+	cx.Flush()
+	cy.Flush()
+	p.Advance(sim.Time(len(own)*updateOps) * opNS)
 	c.Barrier()
 
 	sum := 0.0
 	for _, i := range own {
-		sum += s.x.Load(p, int(i)) + 2*s.y.Load(p, int(i))
+		sum += cx.Load(int(i)) + 2*cy.Load(int(i))
 	}
+	cx.Flush()
+	cy.Flush()
 	return sas.Allreduce1(c, sum, sas.OpSum)
 }

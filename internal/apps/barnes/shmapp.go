@@ -32,110 +32,118 @@ func runSHMEM(mach *machine.Machine, w Workload, plans []*StepPlan, g *sim.Group
 	}
 	g.Run(func(p *sim.Proc) {
 		pe := world.PE(p)
+		cx, cy := st.x.Local(pe).Cursor(p), st.y.Local(pe).Cursor(p)
+		cvx, cvy := st.vx.Local(pe).Cursor(p), st.vy.Local(pe).Cursor(p)
+		cm := st.m.Local(pe).Cursor(p)
 		for i := 0; i < w.N; i++ {
-			st.x.Local(pe).Store(p, i, b0.X[i])
-			st.y.Local(pe).Store(p, i, b0.Y[i])
-			st.vx.Local(pe).Store(p, i, b0.VX[i])
-			st.vy.Local(pe).Store(p, i, b0.VY[i])
-			st.m.Local(pe).Store(p, i, b0.M[i])
+			cx.Store(i, b0.X[i])
+			cy.Store(i, b0.Y[i])
+			cvx.Store(i, b0.VX[i])
+			cvy.Store(i, b0.VY[i])
+			cm.Store(i, b0.M[i])
 		}
+		cx.Flush()
+		cy.Flush()
+		cvx.Flush()
+		cvy.Flush()
+		cm.Flush()
 	})
 
 	var checksum float64
 	for _, pl := range plans {
 		cells := shm.AllocWorld[float64](world, 3*pl.Tree.NumCells())
+		flat := flattenCells(pl.Tree)
 		g.Run(func(p *sim.Proc) {
-			cs := shmStep(world.PE(p), mach, w, pl, st, cells)
+			cs := shmStep(world.PE(p), mach, w, pl, st, cells, flat)
 			if p.ID() == 0 {
 				checksum = cs
 			}
 		})
+		shm.Free(cells)
 	}
 	return finishMetrics(core.SHMEM, g, sp, w, plans, mach, checksum)
 }
 
 func shmStep(pe *shm.PE, mach *machine.Machine, w Workload, pl *StepPlan,
-	s *shmState, cells *shm.Sym[float64]) float64 {
+	s *shmState, cells *shm.Sym[float64], flat []float64) float64 {
 
 	me := pe.ID()
 	p := pe.P
 	opNS := mach.Cfg.OpNS
-	t := pl.Tree
 	x, y := s.x.Local(pe), s.y.Local(pe)
 	vx, vy, m := s.vx.Local(pe), s.vy.Local(pe), s.m.Local(pe)
 	cl := cells.Local(pe)
 
-	// --- tree: replicated build into the local symmetric block.
+	// --- tree: replicated build into the local symmetric block (one span
+	// store: same ascending element order as the per-cell loop).
 	chargeOps(p, mach, sim.PhaseTree, treeOps*w.N*treeLevels(w.N))
 	phT := p.SetPhase(sim.PhaseTree)
-	for c := 0; c < t.NumCells(); c++ {
-		cc := &t.Cells[c]
-		cl.Store(p, 3*c, cc.CX)
-		cl.Store(p, 3*c+1, cc.CY)
-		cl.Store(p, 3*c+2, cc.CM)
-	}
+	cl.StoreRange(p, 0, flat)
 	p.SetPhase(phT)
 
 	// --- partition
 	chargePartitionStep(p, mach, w, pe.Size())
 
-	// --- force
+	// --- force: replay the plan's precomputed traversal trace against the
+	// local symmetric blocks.
 	p.SetPhase(sim.PhaseCompute)
-	readBody := func(j int32) (float64, float64, float64) {
-		return x.Load(p, int(j)), y.Load(p, int(j)), m.Load(p, int(j))
-	}
-	readCell := func(c int32) (float64, float64, float64) {
-		return cl.Load(p, int(3*c)), cl.Load(p, int(3*c+1)), cl.Load(p, int(3*c+2))
-	}
+	cx, cy, cm := x.Cursor(p), y.Cursor(p), m.Cursor(p)
+	ccl := cl.Cursor(p)
 	own := pl.OwnedBodies[me]
-	ax := make([]float64, len(own))
-	ay := make([]float64, len(own))
-	for k, i := range own {
-		bx, by := x.Load(p, int(i)), y.Load(p, int(i))
-		var inter int
-		ax[k], ay[k], inter = t.Accel(i, bx, by, w.Theta, readBody, readCell)
-		p.Advance(sim.Time(inter*forceOps) * opNS)
+	wp := pl.Walk.Ensure()
+	interTot := 0
+	for _, i := range own {
+		j := int(i)
+		if !cx.TryTouch(j) {
+			cx.TouchMiss(j)
+		}
+		if !cy.TryTouch(j) {
+			cy.TouchMiss(j)
+		}
+		replayWalk(wp, j, &cx, &cy, &cm, &ccl)
+		interTot += pl.Inter[j]
 	}
+	cm.Flush()
+	ccl.Flush()
+	p.Advance(sim.Time(interTot*forceOps) * opNS)
 
 	// --- update owned bodies.
-	for k, i := range own {
-		nvx := vx.Load(p, int(i)) + ax[k]*nbody.DT
-		nvy := vy.Load(p, int(i)) + ay[k]*nbody.DT
-		vx.Store(p, int(i), nvx)
-		vy.Store(p, int(i), nvy)
-		x.Store(p, int(i), x.Load(p, int(i))+nvx*nbody.DT)
-		y.Store(p, int(i), y.Load(p, int(i))+nvy*nbody.DT)
-		p.Advance(sim.Time(updateOps) * opNS)
+	cvx, cvy := vx.Cursor(p), vy.Cursor(p)
+	for _, i := range own {
+		j := int(i)
+		nvx := cvx.Load(j) + wp.AX[j]*nbody.DT
+		nvy := cvy.Load(j) + wp.AY[j]*nbody.DT
+		cvx.Store(j, nvx)
+		cvy.Store(j, nvy)
+		cx.Store(j, cx.Load(j)+nvx*nbody.DT)
+		cy.Store(j, cy.Load(j)+nvy*nbody.DT)
 	}
+	p.Advance(sim.Time(len(own)*updateOps) * opNS)
+	cx.Flush()
+	cy.Flush()
+	cvx.Flush()
+	cvy.Flush()
 
 	// --- exchange: one-sided collect of the updated state; unpack foreign.
 	phC := p.SetPhase(sim.PhaseComm)
+	fields := []*numa.Array[float64]{x, y, vx, vy}
 	vals := make([]float64, 4*len(own))
-	for k, i := range own {
-		vals[4*k] = x.Load(p, int(i))
-		vals[4*k+1] = y.Load(p, int(i))
-		vals[4*k+2] = vx.Load(p, int(i))
-		vals[4*k+3] = vy.Load(p, int(i))
-	}
+	numa.GatherFields(p, fields, own, vals)
 	all, offs := shm.Collect(pe, vals)
 	for q := 0; q < pe.Size(); q++ {
 		if q == me {
 			continue
 		}
-		base := offs[q]
-		for k, i := range pl.OwnedBodies[q] {
-			x.Store(p, int(i), all[base+4*k])
-			y.Store(p, int(i), all[base+4*k+1])
-			vx.Store(p, int(i), all[base+4*k+2])
-			vy.Store(p, int(i), all[base+4*k+3])
-		}
+		numa.ScatterFields(p, fields, pl.OwnedBodies[q], all[offs[q]:])
 	}
 	p.SetPhase(phC)
 	pe.Barrier()
 
 	sum := 0.0
 	for _, i := range own {
-		sum += x.Load(p, int(i)) + 2*y.Load(p, int(i))
+		sum += cx.Load(int(i)) + 2*cy.Load(int(i))
 	}
+	cx.Flush()
+	cy.Flush()
 	return shm.Allreduce1(pe, sum, shm.OpSum)
 }

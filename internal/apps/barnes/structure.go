@@ -28,9 +28,20 @@ type StepStructure struct {
 	X, Y  []float64   // body positions at the start of the step
 	Tree  *nbody.Tree // quadtree over those positions
 	Inter []int       // per-body interactions evaluated this step
+	Walk  *WalkPlan   // lazy force-walk oracle (never serialized)
 
 	orderOnce sync.Once
 	order     []int32 // Morton traversal order over X/Y, computed on demand
+}
+
+// attachWalks gives every step its walk-plan holder. Masses are constant over
+// the run and derivable from the workload, so they are never serialized; the
+// trace itself is built lazily on first force phase (see WalkPlan).
+func (st *Structure) attachWalks(w Workload) {
+	m := nbody.NewPlummer(w.N, w.Seed).M
+	for _, ss := range st.Steps {
+		ss.Walk = newWalkPlan(ss.X, ss.Y, m, ss.Tree, w.Theta)
+	}
 }
 
 // mortonOrder returns the step's Morton traversal order, computed once and
@@ -62,6 +73,7 @@ func BuildStructure(w Workload) *Structure {
 		copy(ss.Inter, inter)
 		st.Steps = append(st.Steps, ss)
 	}
+	st.attachWalks(w)
 	return st
 }
 
@@ -83,6 +95,7 @@ func (st *Structure) Plans(nprocs int) []*StepPlan {
 			Owner:       owner,
 			OwnedBodies: make([][]int32, nprocs),
 			Inter:       ss.Inter,
+			Walk:        ss.Walk,
 		}
 		work := make([]int, nprocs)
 		for i := 0; i < st.N; i++ {
@@ -175,5 +188,6 @@ func DecodeStructure(data []byte, w Workload) (*Structure, error) {
 	if err := s.Err(); err != nil {
 		return nil, err
 	}
+	st.attachWalks(w)
 	return st, nil
 }

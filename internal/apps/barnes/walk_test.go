@@ -1,0 +1,141 @@
+package barnes
+
+import (
+	"testing"
+
+	"o2k/internal/nbody"
+	"o2k/internal/numa"
+	"o2k/internal/sim"
+)
+
+// walkFixture builds one step's body/cell arrays on a fresh 1-proc space and
+// hands the cursors to fn inside a simulated proc body. Each call allocates
+// an identical layout, so two fixtures observe identical simulated addresses
+// and their charge sequences are directly comparable.
+func walkFixture(t *testing.T, ss *StepStructure, m []float64,
+	fn func(p *sim.Proc, cx, cy, cm, ccl *numa.Cursor[float64])) (sim.Time, uint64) {
+
+	t.Helper()
+	mch := mach(1)
+	sp := numa.NewSpace(mch)
+	g := sim.NewGroup(1)
+	n := len(ss.X)
+	x := numa.NewPrivate[float64](sp, 0, n)
+	y := numa.NewPrivate[float64](sp, 0, n)
+	bm := numa.NewPrivate[float64](sp, 0, n)
+	cells := numa.NewPrivate[float64](sp, 0, 3*ss.Tree.NumCells())
+	var total sim.Time
+	var hits uint64
+	g.Run(func(p *sim.Proc) {
+		x.StoreRange(p, 0, ss.X)
+		y.StoreRange(p, 0, ss.Y)
+		bm.StoreRange(p, 0, m)
+		cells.StoreRange(p, 0, flattenCells(ss.Tree))
+		cx, cy, cm := x.Cursor(p), y.Cursor(p), bm.Cursor(p)
+		ccl := cells.Cursor(p)
+		t0 := p.Now()
+		fn(p, &cx, &cy, &cm, &ccl)
+		cx.Flush()
+		cy.Flush()
+		cm.Flush()
+		ccl.Flush()
+		total = p.Now() - t0
+		hits = p.CacheHits
+	})
+	return total, hits
+}
+
+// TestWalkPlanMatchesCursorWalker pins the precomputed trace to the live
+// traversal three ways: the recorded accelerations and interaction counts
+// must equal the cursor walker's bit-for-bit, and the replayed charge
+// sequence must cost exactly what the walker's loads cost — same virtual
+// time, same hit counts — on identically laid-out spaces.
+func TestWalkPlanMatchesCursorWalker(t *testing.T) {
+	w := Small()
+	st := BuildStructure(w)
+	m := nbody.NewPlummer(w.N, w.Seed).M
+	for _, ss := range st.Steps {
+		wp := ss.Walk.Ensure()
+		if got := int(wp.Off[w.N]); got != len(wp.Trace) {
+			t.Fatalf("step %d: Off[N]=%d, len(Trace)=%d", ss.Tree.NumCells(), got, len(wp.Trace))
+		}
+
+		// Walker: full traversal with physics, through cursors.
+		axW := make([]float64, w.N)
+		ayW := make([]float64, w.N)
+		tW, hW := walkFixture(t, ss, m, func(p *sim.Proc, cx, cy, cm, ccl *numa.Cursor[float64]) {
+			var wk treeWalker
+			for i := 0; i < w.N; i++ {
+				bx, by := cx.Load(i), cy.Load(i)
+				var inter int
+				axW[i], ayW[i], inter = wk.accel(ss.Tree, int32(i), bx, by, w.Theta, cx, cy, cm, ccl)
+				if inter != ss.Inter[i] {
+					t.Fatalf("body %d: walker inter %d, structure %d", i, inter, ss.Inter[i])
+				}
+			}
+		})
+
+		for i := 0; i < w.N; i++ {
+			if wp.AX[i] != axW[i] || wp.AY[i] != ayW[i] {
+				t.Fatalf("body %d: plan accel (%v,%v) != walker (%v,%v)",
+					i, wp.AX[i], wp.AY[i], axW[i], ayW[i])
+			}
+		}
+
+		// Replay: batched charge-only path over the recorded trace.
+		tR, hR := walkFixture(t, ss, m, func(p *sim.Proc, cx, cy, cm, ccl *numa.Cursor[float64]) {
+			for i := 0; i < w.N; i++ {
+				if !cx.TryTouch(i) {
+					cx.TouchMiss(i)
+				}
+				if !cy.TryTouch(i) {
+					cy.TouchMiss(i)
+				}
+				replayWalk(wp, i, cx, cy, cm, ccl)
+			}
+		})
+		if tR != tW || hR != hW {
+			t.Fatalf("replay charges differ: time %v vs %v, hits %d vs %d", tR, tW, hR, hW)
+		}
+
+		// Per-access fallback chain: must match the batched hoisted loop.
+		tF, hF := walkFixture(t, ss, m, func(p *sim.Proc, cx, cy, cm, ccl *numa.Cursor[float64]) {
+			for i := 0; i < w.N; i++ {
+				if !cx.TryTouch(i) {
+					cx.TouchMiss(i)
+				}
+				if !cy.TryTouch(i) {
+					cy.TouchMiss(i)
+				}
+				for _, e := range wp.Trace[wp.Off[i]:wp.Off[i+1]] {
+					if e >= 0 {
+						j := int(e)
+						jx, ok := cx.TryLoad(j)
+						if !ok {
+							if jx, ok = cx.TryProbe(j); !ok {
+								jx = cx.LoadMiss(j)
+							}
+						}
+						_ = jx
+						if !cy.TryTouch(j) {
+							cy.TouchMiss(j)
+						}
+						if !cm.TryTouch(j) {
+							cm.TouchMiss(j)
+						}
+					} else {
+						c3 := int(^e) * 3
+						for k := 0; k < 3; k++ {
+							if !ccl.TryTouch(c3 + k) {
+								ccl.TouchMiss(c3 + k)
+							}
+						}
+					}
+				}
+			}
+		})
+		if tF != tR || hF != hR {
+			t.Fatalf("fallback chain differs: time %v vs %v, hits %d vs %d", tF, tR, hF, hR)
+		}
+	}
+}

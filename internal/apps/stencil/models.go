@@ -11,32 +11,46 @@ import (
 )
 
 func seed(p *sim.Proc, w Workload, u, v *numa.Array[float64], r0, r1 int) {
+	cu, cv := u.Cursor(p), v.Cursor(p)
 	for i := r0; i < r1; i++ {
 		for j := 0; j <= w.N+1; j++ {
-			u.Store(p, idx(w, i, j), initGrid(w, i, j))
-			v.Store(p, idx(w, i, j), initGrid(w, i, j))
+			cu.Store(idx(w, i, j), initGrid(w, i, j))
+			cv.Store(idx(w, i, j), initGrid(w, i, j))
 		}
 	}
+	cu.Flush()
+	cv.Flush()
 }
 
+// sweep charges and computes one Jacobi iteration over rows [lo, hi). The
+// three stencil arms cycle through three distinct source lines per cell, so
+// each keeps its own line memo (numa.Arm) — the left and right neighbours
+// share the row arm, which the j walk keeps hot.
 func sweep(p *sim.Proc, mach *machine.Machine, w Workload, src, dst *numa.Array[float64], lo, hi int) {
 	opNS := mach.Cfg.OpNS
+	cs, cd := src.Cursor(p), dst.Cursor(p)
+	var up, down, row numa.Arm
 	for i := lo; i < hi; i++ {
+		u0, d0, c0 := idx(w, i-1, 0), idx(w, i+1, 0), idx(w, i, 0)
 		for j := 1; j <= w.N; j++ {
-			val := 0.25 * (src.Load(p, idx(w, i-1, j)) + src.Load(p, idx(w, i+1, j)) +
-				src.Load(p, idx(w, i, j-1)) + src.Load(p, idx(w, i, j+1)))
-			dst.Store(p, idx(w, i, j), val)
+			val := 0.25 * (cs.LoadArm(&up, u0+j) + cs.LoadArm(&down, d0+j) +
+				cs.LoadArm(&row, c0+j-1) + cs.LoadArm(&row, c0+j+1))
+			cd.Store(c0+j, val)
 		}
 		p.Advance(sim.Time(cellOps*w.N) * opNS)
 	}
+	cs.Flush()
+	cd.Flush()
 }
 
 func ownSum(p *sim.Proc, w Workload, u *numa.Array[float64], lo, hi int) float64 {
+	cu := u.Cursor(p)
 	s := 0.0
 	for i := lo; i < hi; i++ {
 		for j := 1; j <= w.N; j++ {
-			s += u.Load(p, idx(w, i, j))
+			s += cu.Load(idx(w, i, j))
 		}
 	}
+	cu.Flush()
 	return s
 }

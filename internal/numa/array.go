@@ -65,6 +65,23 @@ type Array[T any] struct {
 	// Epoch write-sets (shared arrays only).
 	writeLines [][]uint32 // per proc: line indices written this epoch
 	writeBits  [][]uint64 // per proc: dedup bitmap over line indices
+
+	// inst[q] bounds the array-local lines processor q has ever installed in
+	// its cache (shared arrays only): a conservative superset of this array's
+	// residency in cache q, never shrunk by eviction or flush. Address ranges
+	// are never reused (Space.reserve), so a line of this array can only enter
+	// a cache through this array's accessors — the merge may therefore skip
+	// any cache whose install range misses a written line. At large processor
+	// counts a cache holds only its partition (plus ghost halo) of each array,
+	// so this per-array range stays sharp where the cache-global occupancy
+	// filters saturate.
+	inst []instRange
+}
+
+// instRange is a closed [lo, hi] interval of array-local line indices;
+// lo > hi means empty.
+type instRange struct {
+	lo, hi uint32
 }
 
 // lastRef is one entry of Array.last: line is the global line address + 1
@@ -89,6 +106,10 @@ func NewShared[T any](sp *Space, n int) *Array[T] {
 	p := sp.M.Procs()
 	a.writeLines = make([][]uint32, p)
 	a.writeBits = make([][]uint64, p)
+	a.inst = make([]instRange, p)
+	for i := range a.inst {
+		a.inst[i].lo = ^uint32(0)
+	}
 	sp.registerShared(a)
 	return a
 }
@@ -113,7 +134,7 @@ func newArray[T any](sp *Space, n int) *Array[T] {
 	pageShift := uint(mbits.TrailingZeros64(pb))
 	a := &Array[T]{
 		sp:           sp,
-		data:         make([]T, n),
+		data:         allocData[T](sp, es, n),
 		elemSize:     es,
 		base:         base,
 		baseLine:     base >> lineShift,
@@ -130,6 +151,57 @@ func newArray[T any](sp *Space, n int) *Array[T] {
 	}
 	sp.addAlloc(int(bytes))
 	return a
+}
+
+// poolMinElems is the smallest allocation worth pooling/rounding: tiny arrays
+// are cheap to allocate and would pollute the reuse buckets.
+const poolMinElems = 1024
+
+// allocData hands out the host backing slice for a new array: a recycled
+// slice from the space's pool when one fits (re-zeroed, so semantically a
+// fresh make), else a fresh allocation. Large allocations round the host
+// capacity up to a power of two so a later, slightly larger array can reuse
+// the slice once released — adaptive workloads grow their arrays cycle over
+// cycle, and exact-fit pooling would never hit. Only host memory is affected:
+// simulated addresses always come fresh from Space.reserve.
+func allocData[T any](sp *Space, es uint64, n int) []T {
+	if n < poolMinElems {
+		return make([]T, n)
+	}
+	if sl := takePool[T](sp, es, n); sl != nil {
+		return sl
+	}
+	c := poolMinElems
+	for c < n {
+		c <<= 1
+	}
+	return make([]T, n, c)
+}
+
+// Release returns a's host backing store to its Space's reuse pool and
+// detaches the array; any later costed access panics on the nil data slice.
+// Only call it when no simulated code can touch the array again (the arrays
+// of a finished adaptation cycle, once the next cycle's remap has read them).
+// Shared arrays are also dropped from the coherence-merge roster; their
+// write-sets must be empty, i.e. a merge has run since the last write.
+// AllocBytes is NOT decremented: the simulated program never freed anything,
+// the host merely reuses memory — so the model cannot observe a Release.
+func Release[T any](a *Array[T]) {
+	if a == nil || a.data == nil {
+		return
+	}
+	if a.shared {
+		for _, wl := range a.writeLines {
+			if len(wl) != 0 {
+				panic("numa: Release of shared array with unmerged writes")
+			}
+		}
+		a.sp.unregisterShared(a)
+	}
+	if cap(a.data) >= poolMinElems {
+		a.sp.putPool(a.elemSize, a.data[:0])
+	}
+	a.data = nil
 }
 
 // Len returns the element count.
@@ -271,6 +343,7 @@ func (a *Array[T]) chargeSlow(p *sim.Proc, c *cache, base, gl uint64, li uint32,
 		p.CacheHits++
 		p.Advance(a.cacheHitNS)
 	} else {
+		a.noteInstall(me, li)
 		sn := a.procNode[me]
 		hn := a.procNode[a.pageHome[li>>a.pageOverLine]]
 		if sn == hn {
@@ -286,6 +359,22 @@ func (a *Array[T]) chargeSlow(p *sim.Proc, c *cache, base, gl uint64, li uint32,
 	// The access (hit or install) left gl in the MRU way; c.gen reflects any
 	// shuffle accessSlow just did.
 	a.last[me] = lastRef{gl + 1, c.gen}
+}
+
+// noteInstall widens processor me's install range after a miss installed
+// array-local line li in its cache. Only shared arrays track installs (the
+// merge is the sole consumer); the nil check keeps private arrays free.
+func (a *Array[T]) noteInstall(me int, li uint32) {
+	if a.inst == nil {
+		return
+	}
+	r := &a.inst[me]
+	if li < r.lo {
+		r.lo = li
+	}
+	if li > r.hi {
+		r.hi = li
+	}
 }
 
 // recordWrite adds li to processor me's epoch write-set (once per line).
@@ -422,6 +511,7 @@ func (a *Array[T]) TouchRange(p *sim.Proc, lo, hi int, write bool) {
 			lat += a.cacheHitNS
 			continue
 		}
+		a.noteInstall(me, li)
 		hn := a.procNode[a.pageHome[li>>a.pageOverLine]]
 		if sn == hn {
 			local++
@@ -483,23 +573,45 @@ func (a *Array[T]) mergeEpoch(caches []*cache, evicts []uint64) {
 		if len(lines) == 0 {
 			continue
 		}
+		// Precompute global addresses and signature bits once per writer; the
+		// per-line signature check below is what keeps the merge affordable
+		// at hundreds of caches — a probe only reaches the tag array when the
+		// target cache has installed a line in that signature granule.
+		gls := a.sp.mergeGls[:0]
+		sigs := a.sp.mergeSigs[:0]
 		lo, hi := lines[0], lines[0]
-		for _, li := range lines[1:] {
+		var wsig uint64
+		for _, li := range lines {
 			if li < lo {
 				lo = li
 			}
 			if li > hi {
 				hi = li
 			}
+			gl := a.baseLine + uint64(li)
+			sb := sigBit(gl)
+			wsig |= sb
+			gls = append(gls, gl)
+			sigs = append(sigs, sb)
 		}
+		a.sp.mergeGls, a.sp.mergeSigs = gls, sigs
 		glo, ghi := a.baseLine+uint64(lo), a.baseLine+uint64(hi)
 		for q, c := range caches {
-			if q == w || c.live == 0 || ghi < c.minLine || glo > c.maxLine {
+			// The per-array install range is the sharpest filter at large
+			// processor counts (see inst); the cache-global occupancy and
+			// signature checks still help when the range is wide.
+			r := a.inst[q]
+			if q == w || r.lo > hi || r.hi < lo ||
+				c.live == 0 || ghi < c.minLine || glo > c.maxLine || c.sig&wsig == 0 {
 				continue
 			}
 			n := uint64(0)
-			for _, li := range lines {
-				if c.invalidate(a.baseLine + uint64(li)) {
+			csig := c.sig
+			for k, li := range lines {
+				if li < r.lo || li > r.hi || csig&sigs[k] == 0 {
+					continue
+				}
+				if c.invalidate(gls[k]) {
 					n++
 				}
 			}

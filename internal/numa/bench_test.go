@@ -71,3 +71,76 @@ func BenchmarkTouchRange(b *testing.B) {
 		a.TouchRange(p, 0, 1<<12, false)
 	}
 }
+
+// BenchmarkReplayLoads charges a walk-shaped trace (a cell read followed by
+// a burst of leaf loads, repeated) through the four-cursor batched replay —
+// the barnes force phase's hot loop.
+func BenchmarkReplayLoads(b *testing.B) {
+	sp, _ := space(1)
+	g := sim.NewGroup(1)
+	x := NewPrivate[float64](sp, 0, 4096)
+	y := NewPrivate[float64](sp, 0, 4096)
+	m := NewPrivate[float64](sp, 0, 4096)
+	cl := NewPrivate[float64](sp, 0, 3*512)
+	var tr []int32
+	for c := 0; c < 512; c++ {
+		tr = append(tr, int32(^c))
+		for j := 0; j < 6; j++ {
+			tr = append(tr, int32((c*11+j*3)%4096))
+		}
+	}
+	p := g.Proc(0)
+	cx, cy, cm, cc := x.Cursor(p), y.Cursor(p), m.Cursor(p), cl.Cursor(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReplayLoads(tr, &cx, &cy, &cm, &cc)
+	}
+	b.StopTimer()
+	cx.Flush()
+	cy.Flush()
+	cm.Flush()
+	cc.Flush()
+}
+
+// BenchmarkLoadArmSweep runs the stencil inner loop's access shape: three
+// concurrent line streams of one array, each carried by its own Arm memo
+// (the per-proc memo alone would thrash on this pattern).
+func BenchmarkLoadArmSweep(b *testing.B) {
+	sp, _ := space(1)
+	g := sim.NewGroup(1)
+	const n = 4096
+	a := NewPrivate[float64](sp, 0, 3*n)
+	p := g.Proc(0)
+	cu := a.Cursor(p)
+	var up, down, row Arm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % n
+		_ = cu.LoadArm(&up, j) + cu.LoadArm(&down, n+j) + cu.LoadArm(&row, 2*n+j)
+	}
+	b.StopTimer()
+	cu.Flush()
+}
+
+// BenchmarkMergeEpochWide is the merge at scale: 64 caches with disjoint
+// per-proc write blocks, where the per-(array, proc) install ranges and
+// occupancy signatures let each writer skip the 63 caches that never held
+// its lines.
+func BenchmarkMergeEpochWide(b *testing.B) {
+	const procs = 64
+	sp, _ := space(procs)
+	g := sim.NewGroup(procs)
+	a := NewShared[float64](sp, procs*4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for q := 0; q < procs; q++ {
+			p := g.Proc(q)
+			for k := 0; k < 64; k++ {
+				a.Store(p, q*4096+k*8, 1)
+			}
+		}
+		b.StartTimer()
+		sp.MergeEpoch()
+	}
+}

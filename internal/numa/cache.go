@@ -62,10 +62,16 @@ type cache struct {
 	// Conservative occupancy summary, maintained on install/invalidate, so
 	// the coherence merge can skip probing caches that cannot hold a written
 	// line. live counts valid tags; [minLine, maxLine] bounds every line
-	// installed since the last flush (never shrunk by invalidation).
+	// installed since the last flush (never shrunk by invalidation); sig is a
+	// one-word Bloom signature of every line installed since the last flush
+	// (see sigBit — never cleared by invalidation, so a resident line always
+	// has its bit set). The range filter dies once a cache has touched arrays
+	// at distant addresses; the signature keeps discriminating by address set,
+	// which is what makes the merge affordable at hundreds of procs.
 	live    int
 	minLine uint64
 	maxLine uint64
+	sig     uint64
 
 	// gen counts tag mutations (LRU shuffles, installs, invalidations,
 	// flushes). Arrays record {line, gen} after each completed access; while
@@ -114,6 +120,16 @@ func newCache(cacheBytes, lineBytes int) *cache {
 		c.chunks[i] = zeroChunk[:hi-lo]
 	}
 	return c
+}
+
+// sigBit maps a line address to its Bloom-signature bit. The low shift gives
+// 8-line granules (a processor's working set is a few contiguous blocks, so
+// it occupies few bits), the xor folds distant address regions apart.
+func sigBit(line uint64) uint64 {
+	h := line >> 3
+	h ^= h >> 6
+	h ^= h >> 12
+	return uint64(1) << (h & 63)
 }
 
 // setOf maps a line address to its set. The index XOR-folds higher address
@@ -192,6 +208,7 @@ func (c *cache) accessSlow(base, line uint64) bool {
 	if line > c.maxLine {
 		c.maxLine = line
 	}
+	c.sig |= sigBit(line)
 	set[3] = set[2]
 	set[2] = set[1]
 	set[1] = set[0]
@@ -221,8 +238,13 @@ func (c *cache) present(line uint64) bool {
 }
 
 // invalidate drops line if present, counting a coherence eviction; it
-// reports whether the line was actually evicted.
+// reports whether the line was actually evicted. An unowned chunk is the
+// shared all-invalid zero chunk, so the probe resolves with one bool load —
+// the common case when the coherence merge sweeps hundreds of caches.
 func (c *cache) invalidate(line uint64) bool {
+	if !c.owned[c.setOf(line)*cacheWays>>chunkSlotsLog] {
+		return false
+	}
 	set := c.set(line)
 	t := uint32(line) + 1
 	for w := 0; w < cacheWays; w++ {
@@ -254,4 +276,5 @@ func (c *cache) flush() {
 	c.live = 0
 	c.minLine = ^uint64(0)
 	c.maxLine = 0
+	c.sig = 0
 }

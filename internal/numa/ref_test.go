@@ -44,6 +44,16 @@ func runTrace(t *testing.T, seed int64, useRef bool) traceResult {
 	for i := 0; i < procs; i++ {
 		priv = append(priv, NewPrivate[float64](sp, i, 512))
 	}
+	// Replay quartet: body coordinates/masses plus a cell store, shaped like
+	// the tree-walk arrays ReplayLoads was built for.
+	shX := NewShared[float64](sp, 2048)
+	shX.PlaceInterleave()
+	shY := NewShared[float64](sp, 2048)
+	shY.PlaceBlock()
+	shM := NewShared[float64](sp, 2048)
+	shM.PlaceInterleave()
+	shC := NewShared[float64](sp, 3*256)
+	shC.PlaceBlock()
 
 	rng := rand.New(rand.NewSource(seed))
 	phases := []sim.Phase{sim.PhaseCompute, sim.PhaseMark, sim.PhaseRemap}
@@ -55,7 +65,7 @@ func runTrace(t *testing.T, seed int64, useRef bool) traceResult {
 		if rng.Intn(16) == 0 {
 			p.SetPhase(phases[rng.Intn(len(phases))])
 		}
-		switch rng.Intn(6) {
+		switch rng.Intn(10) {
 		case 0:
 			sum += shA.Load(p, rng.Intn(shA.Len()))
 		case 1:
@@ -76,6 +86,76 @@ func runTrace(t *testing.T, seed int64, useRef bool) traceResult {
 			} else {
 				sum += a.Load(p, rng.Intn(a.Len()))
 			}
+		case 6:
+			// Cursor load chains, staged randomly through the inlinable
+			// TryLoad / TryProbe fast paths and the LoadMiss completion.
+			cu := shA.Cursor(p)
+			n := 1 + rng.Intn(32)
+			for k := 0; k < n; k++ {
+				i := rng.Intn(shA.Len())
+				switch rng.Intn(3) {
+				case 0:
+					sum += cu.Load(i)
+				case 1:
+					v, ok := cu.TryLoad(i)
+					if !ok {
+						v = cu.LoadMiss(i)
+					}
+					sum += v
+				default:
+					v, ok := cu.TryLoad(i)
+					if !ok {
+						if v, ok = cu.TryProbe(i); !ok {
+							v = cu.LoadMiss(i)
+						}
+					}
+					sum += v
+				}
+			}
+			cu.Flush()
+		case 7:
+			// Charge-only touch chain (the replay building block).
+			cb := shB.Cursor(p)
+			n := 1 + rng.Intn(32)
+			for k := 0; k < n; k++ {
+				if i := rng.Intn(shB.Len()); !cb.TryTouch(i) {
+					cb.TouchMiss(i)
+				}
+			}
+			cb.Flush()
+		case 8:
+			// Stencil-shaped arm walk: two streams cycling distinct lines.
+			ca := shA.Cursor(p)
+			var up, row Arm
+			base := rng.Intn(shA.Len() - 66)
+			for j := 0; j < 32; j++ {
+				sum += ca.LoadArm(&up, base+j)
+				sum += ca.LoadArm(&row, base+32+j)
+				sum += ca.LoadArm(&row, base+32+j+1)
+			}
+			ca.Flush()
+		case 9:
+			// Batched trace replay over the quartet, with an occasional store
+			// beforehand so the replay meets freshly written lines.
+			if rng.Intn(2) == 0 {
+				arr := [...]*Array[float64]{shX, shY, shM, shC}[rng.Intn(4)]
+				arr.Store(p, rng.Intn(arr.Len()), float64(step))
+			}
+			var tr []int32
+			n := 1 + rng.Intn(40)
+			for k := 0; k < n; k++ {
+				if rng.Intn(3) == 0 {
+					tr = append(tr, int32(^rng.Intn(256)))
+				} else {
+					tr = append(tr, int32(rng.Intn(shX.Len())))
+				}
+			}
+			cx, cy, cm, cc := shX.Cursor(p), shY.Cursor(p), shM.Cursor(p), shC.Cursor(p)
+			ReplayLoads(tr, &cx, &cy, &cm, &cc)
+			cx.Flush()
+			cy.Flush()
+			cm.Flush()
+			cc.Flush()
 		}
 		// Periodic synchronization point: resolve coherence and charge the
 		// penalties exactly as a barrier would.
@@ -102,11 +182,13 @@ func runTrace(t *testing.T, seed int64, useRef bool) traceResult {
 }
 
 // TestFastPathMatchesReference is the differential test for the optimized
-// cost model (DESIGN.md §5.4): the shift/table fast paths in array.go and the
-// filtered, inverted coherence merge must be observationally identical to the
-// straightforward reference implementations in ref.go — same virtual clocks,
-// same per-phase attribution, same counters, same coherence evictions, same
-// merge penalties — on randomized traces.
+// cost model (DESIGN.md §5.4): the shift/table fast paths in array.go, the
+// cursor chains (TryLoad/TryProbe/LoadMiss, TryTouch/TouchMiss, LoadArm),
+// the batched trace replay (ReplayLoads), and the filtered, inverted
+// coherence merge must be observationally identical to the straightforward
+// reference implementations in ref.go — same virtual clocks, same per-phase
+// attribution, same counters, same coherence evictions, same merge penalties
+// — on randomized traces.
 func TestFastPathMatchesReference(t *testing.T) {
 	for _, seed := range []int64{1, 2, 42, 20260805} {
 		fast := runTrace(t, seed, false)

@@ -20,6 +20,13 @@ type Space struct {
 	mu     sync.Mutex
 	shared []epochTracker // shared arrays with live write-sets
 
+	// pool holds released host backing slices for reuse, bucketed by element
+	// size (the stored values are typed slices; takePool type-asserts). Only
+	// the host allocation is recycled: simulated addresses always come fresh
+	// from reserve, and a reused slice is re-zeroed, so the model cannot
+	// observe the difference. See Release.
+	pool map[uint64][]any
+
 	// Scratch for MergeEpoch, reused across barrier episodes. Safe because
 	// MergeEpoch only runs from a barrier rendezvous hook while every
 	// processor is blocked, and each participant reads its penalty entry
@@ -27,6 +34,11 @@ type Space struct {
 	// fully consumed before the next merge can start.
 	mergeEvicts []uint64
 	mergePen    []sim.Time
+	// Per-writer scratch for mergeEpoch: the write-set's global line
+	// addresses and their Bloom-signature bits, computed once per writer and
+	// reused against every target cache.
+	mergeGls  []uint64
+	mergeSigs []uint64
 
 	allocBytes atomic.Uint64
 }
@@ -72,6 +84,50 @@ func (s *Space) registerShared(t epochTracker) {
 	s.mu.Lock()
 	s.shared = append(s.shared, t)
 	s.mu.Unlock()
+}
+
+func (s *Space) unregisterShared(t epochTracker) {
+	s.mu.Lock()
+	for i, st := range s.shared {
+		if st == t {
+			s.shared = append(s.shared[:i], s.shared[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// putPool returns a released backing slice (stored as a typed slice in an
+// any) to the element-size bucket. Caller must not retain the slice.
+func (s *Space) putPool(elemSize uint64, slice any) {
+	s.mu.Lock()
+	if s.pool == nil {
+		s.pool = make(map[uint64][]any)
+	}
+	s.pool[elemSize] = append(s.pool[elemSize], slice)
+	s.mu.Unlock()
+}
+
+// takePool finds a pooled slice of element type T with capacity >= n, removes
+// it from the bucket, and returns it resliced to n and zeroed — semantically
+// a fresh make([]T, n). Returns nil when nothing fits.
+func takePool[T any](s *Space, elemSize uint64, n int) []T {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bucket := s.pool[elemSize]
+	for i := len(bucket) - 1; i >= 0; i-- {
+		sl, ok := bucket[i].([]T)
+		if !ok || cap(sl) < n {
+			continue
+		}
+		bucket[i] = bucket[len(bucket)-1]
+		bucket[len(bucket)-1] = nil
+		s.pool[elemSize] = bucket[:len(bucket)-1]
+		sl = sl[:n]
+		clear(sl)
+		return sl
+	}
+	return nil
 }
 
 func (s *Space) addAlloc(n int) { s.allocBytes.Add(uint64(n)) }

@@ -52,3 +52,27 @@ func BenchmarkBarrierWithPuts(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkPutIdx exercises the indexed put and its span log: scattered
+// element puts whose dirty lines are deduplicated into the per-target log
+// that the next barrier merges.
+func BenchmarkPutIdx(b *testing.B) {
+	w, g, _ := world(2)
+	s := AllocWorld[float64](w, 4096)
+	idx := make([]int32, 128)
+	vals := make([]float64, 128)
+	for i := range idx {
+		idx[i] = int32((i * 37) % 4096)
+		vals[i] = float64(i)
+	}
+	b.ResetTimer()
+	g.Run(func(p *sim.Proc) {
+		pe := w.PE(p)
+		if pe.ID() != 0 {
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			PutIdx(pe, s, 1, idx, vals)
+		}
+	})
+}

@@ -19,6 +19,7 @@ package shm
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"unsafe"
 
@@ -37,14 +38,22 @@ type World struct {
 	reducer *sim.Reducer
 
 	mu       sync.Mutex
-	putLines map[int][]uint64 // target PE -> global line addresses put this epoch
-	atomMu   sync.Mutex       // serializes remote atomics
+	putSpans [][]span   // per target PE: global line spans put this epoch
+	atomMu   sync.Mutex // serializes remote atomics
 }
+
+// span is a half-open range [lo, hi) of global line addresses. The put log is
+// span-based (DESIGN.md §5.9): adjacent puts coalesce at log time and the
+// remainder merges at the barrier. Invalidation is idempotent — each present
+// line evicts exactly once however often it was put — so replacing the old
+// per-line multiset log with the span union leaves eviction counts, and
+// therefore every penalty and counter, unchanged.
+type span struct{ lo, hi uint64 }
 
 // NewWorld creates the SHMEM context for all processors of m, allocating
 // symmetric memory out of sp.
 func NewWorld(m *machine.Machine, sp *numa.Space) *World {
-	w := &World{M: m, Sp: sp, putLines: make(map[int][]uint64)}
+	w := &World{M: m, Sp: sp, putSpans: make([][]span, m.Procs())}
 	stages := m.LogStages(m.Procs())
 	w.barrier = sim.NewBarrierHook(m.Procs(),
 		func(int) sim.Time { return sim.Time(stages) * m.Cfg.ShmBarrierHop },
@@ -57,37 +66,75 @@ func NewWorld(m *machine.Machine, sp *numa.Space) *World {
 
 // completePuts runs at the barrier rendezvous: invalidate target-side cached
 // lines covered by this epoch's puts, charging each target the invalidation
-// processing time.
+// processing time. Each target's spans are sorted, merged, and probed once
+// per line of the union — identical evictions to the old per-line log.
 func (w *World) completePuts() []sim.Time {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if len(w.putLines) == 0 {
-		return nil
-	}
-	pen := make([]sim.Time, w.M.Procs())
-	for pe, lines := range w.putLines {
-		n := w.Sp.InvalidateLines(pe, lines)
+	var pen []sim.Time
+	for pe, spans := range w.putSpans {
+		if len(spans) == 0 {
+			continue
+		}
+		if pen == nil {
+			pen = make([]sim.Time, w.M.Procs())
+		}
+		slices.SortFunc(spans, func(a, b span) int {
+			switch {
+			case a.lo < b.lo:
+				return -1
+			case a.lo > b.lo:
+				return 1
+			default:
+				return 0
+			}
+		})
+		n := 0
+		cur := spans[0]
+		for _, s := range spans[1:] {
+			if s.lo <= cur.hi {
+				if s.hi > cur.hi {
+					cur.hi = s.hi
+				}
+				continue
+			}
+			n += w.Sp.InvalidateSpan(pe, cur.lo, cur.hi)
+			cur = s
+		}
+		n += w.Sp.InvalidateSpan(pe, cur.lo, cur.hi)
 		pen[pe] += sim.Time(n) * w.M.Cfg.CohInvalPerLine
-		delete(w.putLines, pe)
+		w.putSpans[pe] = spans[:0]
 	}
 	return pen
 }
 
-// logPut records that lines [lo,hi) of global line space were put to pe.
-//
-// Perf note (DESIGN.md §5.4): the log is deliberately per-line rather than
-// span-based. Collapsing it to coalesced [lo,hi) spans (invalidation is
-// idempotent, so counts would not change) is a known win, but any code-line
-// change in this package shifts Table 5's LoC measurement and therefore the
-// frozen stdout bytes — do it in a PR that updates the golden hash.
+// logPut records that lines [lo,hi) of global line space were put to pe,
+// coalescing with the previous record when the ranges touch — consecutive
+// puts into adjacent staging offsets (the common pattern) stay one span.
 func (w *World) logPut(pe int, lo, hi uint64) {
-	w.mu.Lock()
-	ls := w.putLines[pe]
-	for l := lo; l < hi; l++ {
-		ls = append(ls, l)
+	if hi <= lo {
+		return
 	}
-	w.putLines[pe] = ls
+	w.mu.Lock()
+	w.logPutLocked(pe, lo, hi)
 	w.mu.Unlock()
+}
+
+// logPutLocked is logPut's body for callers that batch several ranges under
+// one acquisition of w.mu (see PutIdx).
+func (w *World) logPutLocked(pe int, lo, hi uint64) {
+	sp := w.putSpans[pe]
+	if n := len(sp); n > 0 && lo <= sp[n-1].hi && sp[n-1].lo <= hi {
+		if lo < sp[n-1].lo {
+			sp[n-1].lo = lo
+		}
+		if hi > sp[n-1].hi {
+			sp[n-1].hi = hi
+		}
+	} else {
+		sp = append(sp, span{lo, hi})
+	}
+	w.putSpans[pe] = sp
 }
 
 // PE binds processor p to the world, yielding the per-processing-element
@@ -165,6 +212,17 @@ func AllocWorld[T any](w *World, n int) *Sym[T] {
 	return s
 }
 
+// Free releases every PE's block of s for host-side reuse (numa.Release):
+// the symmetric handle is dead afterwards. Callers must ensure all puts
+// targeting s have completed at a barrier before freeing — a released block
+// must never be accessed again, locally or remotely.
+func Free[T any](s *Sym[T]) {
+	for _, a := range s.parts {
+		numa.Release(a)
+	}
+	s.parts = nil
+}
+
 // Local returns this PE's own block for costed local access.
 func (s *Sym[T]) Local(pe *PE) *numa.Array[T] { return s.parts[pe.ID()] }
 
@@ -232,14 +290,10 @@ func PutIdx[T any](pe *PE, s *Sym[T], target int, idx []int32, vals []T) {
 	}
 	if target != pe.ID() {
 		w.mu.Lock()
-		ls := w.putLines[target]
 		for _, ix := range idx {
 			lo, hi := dst.LineRange(int(ix), int(ix)+1)
-			for l := lo; l < hi; l++ {
-				ls = append(ls, l)
-			}
+			w.logPutLocked(target, lo, hi)
 		}
-		w.putLines[target] = ls
 		w.mu.Unlock()
 	}
 }
@@ -271,6 +325,12 @@ func Get[T any](pe *PE, s *Sym[T], target, off, n int) []T {
 // returns the previous value (shmem_fadd). Note: concurrent FetchAdds from
 // different PEs are serialized in host order, so return values are only
 // deterministic when the application imposes an order.
+//
+// Atomics count as messages but not payload bytes: the traffic tables follow
+// the paper in attributing BytesSent to bulk data motion (puts, gets,
+// messages), while an 8-byte atomic is pure latency/occupancy — its cost is
+// the ShmAtomicNS + wire charge below, and adding its operand to BytesSent
+// would double-count it as data volume.
 func FetchAdd(pe *PE, s *Sym[int64], target, off int, delta int64) int64 {
 	w := pe.W
 	pe.P.Advance(w.M.Cfg.ShmAtomicNS + w.M.Wire(8, w.M.Hops(pe.ID(), target)))
