@@ -16,9 +16,6 @@ import (
 	"o2k/internal/obs"
 )
 
-// mainArgsEnv switches the re-executed test binary into CLI mode.
-const mainArgsEnv = "O2K_MAIN_ARGS"
-
 func TestMain(m *testing.M) {
 	if args := os.Getenv(mainArgsEnv); args != "" {
 		os.Args = append([]string{"o2kbench"}, strings.Fields(args)...)

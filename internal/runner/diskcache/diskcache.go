@@ -101,10 +101,13 @@ type Cache struct {
 	fence string
 	fs    FS
 
-	seq atomic.Int64 // temp-file disambiguator within this process
-
 	hits, misses, corrupt, stale, evicted, putErrs, readErrs atomic.Int64
 }
+
+// tmpSeq disambiguates temp files process-wide: two Cache instances over one
+// directory (one per engine, say) would collide on a per-Cache counter, since
+// the pid in the temp name no longer tells them apart.
+var tmpSeq atomic.Int64
 
 // Option configures Open.
 type Option func(*Cache)
@@ -157,10 +160,11 @@ func Fingerprint() string {
 	return hex.EncodeToString(sum[:8])
 }
 
-// keyOK screens the cell key before it is used as a path component: CellKey
+// ValidKey screens a cell key before it is used as a path component: CellKey
 // produces fixed-width lowercase hex, and anything else (a doctored file
-// name, a caller bug) must not escape the cache directory.
-func keyOK(key string) bool {
+// name, a caller bug) must not escape the cache directory. The lease
+// subsystem applies the same screen to its sidecar files.
+func ValidKey(key string) bool {
 	if len(key) != 32 {
 		return false
 	}
@@ -173,10 +177,17 @@ func keyOK(key string) bool {
 	return true
 }
 
-// path returns the entry file for key: <dir>/<key[:2]>/<key>.cell. The
-// two-character shard keeps directory listings bounded as caches grow.
+// SidecarPath places a key-scoped sidecar file (extension including the dot,
+// e.g. ".lease") in the same two-character shard directory as the key's
+// entry, so everything about one cell lives together and directory listings
+// stay bounded. key must satisfy ValidKey.
+func SidecarPath(dir, key, ext string) string {
+	return filepath.Join(dir, key[:2], key+ext)
+}
+
+// path returns the entry file for key: <dir>/<key[:2]>/<key>.cell.
 func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key[:2], key+".cell")
+	return SidecarPath(c.dir, key, ".cell")
 }
 
 // Get returns the stored payload for key, or ok=false on a miss. Every
@@ -185,7 +196,7 @@ func (c *Cache) path(key string) string {
 // and stale entries are evicted so the rerun that recomputes them can
 // rewrite them cleanly.
 func (c *Cache) Get(key string) (payload []byte, ok bool) {
-	if !keyOK(key) {
+	if !ValidKey(key) {
 		c.misses.Add(1)
 		return nil, false
 	}
@@ -240,7 +251,7 @@ func (c *Cache) evict(key string) {
 // decode into the cell's type — damage the envelope checksum cannot see
 // (e.g. an entry written under a colliding key by a buggy codec).
 func (c *Cache) Invalidate(key string) {
-	if !keyOK(key) {
+	if !ValidKey(key) {
 		return
 	}
 	c.hits.Add(-1)
@@ -255,7 +266,7 @@ func (c *Cache) Invalidate(key string) {
 // the temp file is removed best-effort, and PutErrs is bumped — a failed Put
 // never leaves a partial entry for a later Get to trust.
 func (c *Cache) Put(key string, payload []byte) error {
-	if !keyOK(key) {
+	if !ValidKey(key) {
 		c.putErrs.Add(1)
 		return fmt.Errorf("diskcache: malformed key %q", key)
 	}
@@ -279,7 +290,7 @@ func (c *Cache) Put(key string, payload []byte) error {
 		c.putErrs.Add(1)
 		return fmt.Errorf("diskcache: put %s: %w", key, err)
 	}
-	tmp := fmt.Sprintf("%s.tmp.%d.%d", dst, os.Getpid(), c.seq.Add(1))
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", dst, os.Getpid(), tmpSeq.Add(1))
 	if err := c.fs.WriteFile(tmp, data, 0o644); err != nil {
 		c.putErrs.Add(1)
 		c.fs.Remove(tmp)
@@ -311,18 +322,30 @@ type VerifyStats struct {
 	Checked int // entry files examined
 	Bad     int // entries that failed validation (and were removed)
 	Stale   int // of Bad, entries rejected only by the version fence
+	Tmp     int // orphaned temp files swept (interrupted or killed commits)
+	Leases  int // lease sidecar files seen (left for lease.Sweep to judge)
 }
 
 // Verify scans every entry under the cache root, validates each against the
 // schema, fence, key, and checksum, and removes the ones that fail — the
 // offline counterpart of Get's on-contact eviction, behind `o2kbench
-// -cache-verify`. Temp files from interrupted commits are removed too (they
-// were never entries). The scan itself is read-only on valid entries.
+// -cache-verify`. Orphaned temp files from interrupted or SIGKILLed commits
+// are swept and counted (they were never entries). Lease sidecar files are
+// counted but never touched here: whether a lease is stale is the lease
+// subsystem's call (lease.Sweep), and removing a live one would break a
+// running worker's mutual exclusion. The scan itself is read-only on valid
+// entries.
 func (c *Cache) Verify() (VerifyStats, error) {
 	var st VerifyStats
-	err := c.walk(func(path, key string, tmp bool) {
-		if tmp {
-			c.fs.Remove(path)
+	err := c.walk(func(path, key string, kind fileKind) {
+		switch kind {
+		case fileTmp:
+			if c.fs.Remove(path) == nil {
+				st.Tmp++
+			}
+			return
+		case fileLease:
+			st.Leases++
 			return
 		}
 		st.Checked++
@@ -346,12 +369,12 @@ func (c *Cache) Verify() (VerifyStats, error) {
 	return st, err
 }
 
-// Clear removes every entry (and stray temp file) under the cache root and
-// returns how many entry files were deleted.
+// Clear removes every entry (plus stray temp and lease files) under the
+// cache root and returns how many entry files were deleted.
 func (c *Cache) Clear() (int, error) {
 	removed := 0
-	err := c.walk(func(path, key string, tmp bool) {
-		if c.fs.Remove(path) == nil && !tmp {
+	err := c.walk(func(path, key string, kind fileKind) {
+		if c.fs.Remove(path) == nil && kind == fileEntry {
 			removed++
 			c.evicted.Add(1)
 		}
@@ -362,17 +385,26 @@ func (c *Cache) Clear() (int, error) {
 // Len counts committed entries on disk.
 func (c *Cache) Len() (int, error) {
 	n := 0
-	err := c.walk(func(path, key string, tmp bool) {
-		if !tmp {
+	err := c.walk(func(path, key string, kind fileKind) {
+		if kind == fileEntry {
 			n++
 		}
 	})
 	return n, err
 }
 
+// fileKind classifies what a file under a shard directory is.
+type fileKind int
+
+const (
+	fileEntry fileKind = iota // <key>.cell — a committed entry
+	fileLease                 // <key>.lease — a lease sidecar (see internal/runner/lease)
+	fileTmp                   // anything else — an uncommitted temp file
+)
+
 // walk visits every file under the cache's shard directories, reporting its
-// path, the key its name claims, and whether it is an uncommitted temp file.
-func (c *Cache) walk(visit func(path, key string, tmp bool)) error {
+// path, the key its name claims (entries and leases), and its kind.
+func (c *Cache) walk(visit func(path, key string, kind fileKind)) error {
 	shards, err := c.fs.ReadDir(c.dir)
 	if err != nil {
 		return fmt.Errorf("diskcache: scan %s: %w", c.dir, err)
@@ -391,11 +423,12 @@ func (c *Cache) walk(visit func(path, key string, tmp bool)) error {
 			}
 			name := f.Name()
 			path := filepath.Join(c.dir, sh.Name(), name)
-			key, isEntry := strings.CutSuffix(name, ".cell")
-			if isEntry && keyOK(key) {
-				visit(path, key, false)
+			if key, ok := strings.CutSuffix(name, ".cell"); ok && ValidKey(key) {
+				visit(path, key, fileEntry)
+			} else if key, ok := strings.CutSuffix(name, ".lease"); ok && ValidKey(key) {
+				visit(path, key, fileLease)
 			} else {
-				visit(path, "", true)
+				visit(path, "", fileTmp)
 			}
 		}
 	}

@@ -342,6 +342,64 @@ func TestConcurrentPutGet(t *testing.T) {
 	wg.Wait()
 }
 
+// TestConcurrentPutSameKeyTwoCaches races same-key commits from two Cache
+// instances over one directory — the multi-process collision (two workers,
+// one cell, no or degraded leases). Atomic rename must leave exactly one
+// valid committed entry and no temp debris, whichever writer won.
+func TestConcurrentPutSameKeyTwoCaches(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("contended")
+	payloads := map[string]bool{}
+	var wg sync.WaitGroup
+	for i, c := range []*Cache{c1, c2} {
+		for j := 0; j < 4; j++ {
+			p := fmt.Sprintf(`{"val":%d}`, i*4+j)
+			payloads[p] = true
+			wg.Add(1)
+			go func(c *Cache, p string) {
+				defer wg.Done()
+				if err := c.Put(k, []byte(p)); err != nil {
+					t.Error(err)
+				}
+			}(c, p)
+		}
+	}
+	wg.Wait()
+
+	got, ok := c1.Get(k)
+	if !ok || !payloads[string(got)] {
+		t.Fatalf("surviving entry = %q, %v; want one of the racers' payloads", got, ok)
+	}
+	// Exactly one committed file for the key, zero temp leftovers.
+	files, err := os.ReadDir(filepath.Join(dir, k[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells, others int
+	for _, f := range files {
+		if strings.HasSuffix(f.Name(), ".cell") {
+			cells++
+		} else {
+			others++
+		}
+	}
+	if cells != 1 || others != 0 {
+		t.Fatalf("shard dir holds %d cell files and %d leftovers, want exactly 1 and 0", cells, others)
+	}
+	st, err := c2.Verify()
+	if err != nil || st.Bad != 0 || st.Checked != 1 {
+		t.Fatalf("verify after the race = %+v, %v; want 1 clean entry", st, err)
+	}
+}
+
 func TestFingerprintStable(t *testing.T) {
 	a, b := Fingerprint(), Fingerprint()
 	if a != b || a == "" {

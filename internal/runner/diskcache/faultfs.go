@@ -2,6 +2,7 @@ package diskcache
 
 import (
 	"os"
+	"strings"
 	"sync"
 
 	"io/fs"
@@ -22,11 +23,13 @@ type FaultFS struct {
 	readErr   error // returned by every ReadFile
 	writeErr  error // returned by every WriteFile
 	renameErr error // returned by every Rename
+	linkErr   error // returned by every Link
 
-	truncateAt int // keep only the first N bytes of written files (-1 = off)
-	flipBitAt  int // XOR bit 0 of byte N (clamped) of every file read (-1 = off)
+	truncateAt int    // keep only the first N bytes of written files (-1 = off)
+	flipBitAt  int    // XOR bit 0 of byte N (clamped) of every file read (-1 = off)
+	match      string // restrict injected faults to paths containing this ("" = all)
 
-	reads, writes, renames int64
+	reads, writes, renames, links int64
 }
 
 // NewFaultFS returns a FaultFS over inner (OSFS if nil) with no faults armed.
@@ -47,6 +50,21 @@ func (f *FaultFS) FailWrites(err error) { f.mu.Lock(); f.writeErr = err; f.mu.Un
 // case: the temp file is written but never becomes the entry.
 func (f *FaultFS) FailRenames(err error) { f.mu.Lock(); f.renameErr = err; f.mu.Unlock() }
 
+// FailLinks arms (or disarms) an error on every Link — the lost-acquisition
+// case: a lease's exclusive-create step fails (e.g. a filesystem without
+// hard links), which the lease layer must degrade to computing anyway.
+func (f *FaultFS) FailLinks(err error) { f.mu.Lock(); f.linkErr = err; f.mu.Unlock() }
+
+// MatchPath restricts every armed fault to paths containing substr — e.g.
+// ".lease" faults only the lease files while cache entries stay healthy.
+// "" (the default) faults every path.
+func (f *FaultFS) MatchPath(substr string) { f.mu.Lock(); f.match = substr; f.mu.Unlock() }
+
+// matches reports whether faults apply to name. Callers hold f.mu.
+func (f *FaultFS) matches(name string) bool {
+	return f.match == "" || strings.Contains(name, f.match)
+}
+
 // TruncateWritesAt keeps only the first n bytes of every subsequent write,
 // modelling a torn write / full disk. n < 0 disarms.
 func (f *FaultFS) TruncateWritesAt(n int) { f.mu.Lock(); f.truncateAt = n; f.mu.Unlock() }
@@ -60,6 +78,13 @@ func (f *FaultFS) Ops() (reads, writes, renames int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.reads, f.writes, f.renames
+}
+
+// Links reports how many Link calls reached the FaultFS.
+func (f *FaultFS) Links() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.links
 }
 
 func (f *FaultFS) inner() FS {
@@ -77,6 +102,9 @@ func (f *FaultFS) ReadFile(name string) ([]byte, error) {
 	f.mu.Lock()
 	f.reads++
 	rerr, flip := f.readErr, f.flipBitAt
+	if !f.matches(name) {
+		rerr, flip = nil, -1
+	}
 	f.mu.Unlock()
 	if rerr != nil {
 		return nil, rerr
@@ -97,6 +125,9 @@ func (f *FaultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
 	f.mu.Lock()
 	f.writes++
 	werr, trunc := f.writeErr, f.truncateAt
+	if !f.matches(name) {
+		werr, trunc = nil, -1
+	}
 	f.mu.Unlock()
 	if werr != nil {
 		return werr
@@ -111,11 +142,28 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 	f.mu.Lock()
 	f.renames++
 	rerr := f.renameErr
+	if !f.matches(newpath) {
+		rerr = nil
+	}
 	f.mu.Unlock()
 	if rerr != nil {
 		return rerr
 	}
 	return f.inner().Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Link(oldpath, newpath string) error {
+	f.mu.Lock()
+	f.links++
+	lerr := f.linkErr
+	if !f.matches(newpath) {
+		lerr = nil
+	}
+	f.mu.Unlock()
+	if lerr != nil {
+		return lerr
+	}
+	return f.inner().Link(oldpath, newpath)
 }
 
 func (f *FaultFS) Remove(name string) error { return f.inner().Remove(name) }

@@ -17,6 +17,11 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
 	ReadDir(name string) ([]fs.DirEntry, error)
+	// Link hard-links oldpath to newpath, failing with fs.ErrExist if
+	// newpath already exists. It is the one primitive POSIX offers for
+	// atomic create-exclusive across processes, and the lease subsystem's
+	// acquisition step (internal/runner/lease) is built on it.
+	Link(oldpath, newpath string) error
 }
 
 // OSFS is the passthrough FS backed by the os package.
@@ -30,3 +35,4 @@ func (OSFS) WriteFile(name string, data []byte, perm os.FileMode) error {
 func (OSFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
 func (OSFS) Remove(name string) error                   { return os.Remove(name) }
 func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (OSFS) Link(oldpath, newpath string) error         { return os.Link(oldpath, newpath) }

@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"o2k/internal/runner/lease"
+)
+
+// This file is the engine's bridge to the cross-process single-flight layer
+// (internal/runner/lease, DESIGN.md §5.10). The in-memory memo map and the
+// single-flight slot already guarantee each cell is computed once *per
+// process*; with a lease manager attached, the owner path of DoCached
+// extends that to once *per cache directory*: before computing a
+// cache-missed cell, the owner takes the cell's lease, and requesters in
+// other processes wait on the committed entry instead of re-simulating.
+//
+// The layering keeps PR 4's invariant intact: leases gate only *who
+// computes*, never *what is served*. Every lease failure degrades to
+// computing without exclusion, and a waiter whose foreign owner dies
+// re-acquires through the manager's steal path — so a SIGKILLed worker's
+// cells are reclaimed after the stale deadline, never orphaned.
+
+// SetLeases attaches a cross-process lease manager. It must be called
+// before the first Do, after SetCache (leases without a shared cache have
+// nothing to coordinate and are ignored). A nil manager (the default) keeps
+// single-flight process-local.
+func (e *Engine) SetLeases(m *lease.Manager) { e.leases = m }
+
+// Leases returns the attached lease manager, or nil.
+func (e *Engine) Leases() *lease.Manager { return e.leases }
+
+// computeShared is the owner path of DoCached when a lease manager is
+// attached and the disk probe missed: coordinate with other processes over
+// the cell's lease, and either compute under it or adopt the foreign
+// owner's committed entry. fromDisk reports the latter.
+func (e *Engine) computeShared(key, label string, codec *Codec, compute func(ctx context.Context) (any, error)) (val any, err error, attempts int, fromDisk bool) {
+	for {
+		l, st := e.leases.Acquire(key)
+		switch st {
+		case lease.Acquired:
+			// Commit the outcome before releasing: a waiter that sees the
+			// lease vanish must find the entry (or conclude the outcome was
+			// environmental and compute it itself).
+			val, err, attempts = e.run(key, label, compute)
+			e.diskStore(key, codec, val, err)
+			l.Release()
+			return val, err, attempts, false
+
+		case lease.Busy:
+			// A live foreign owner is computing. Poll for its entry with
+			// jittered backoff; Acquire's observation clock promotes the
+			// owner to stale — and us to the steal path — if it dies.
+			select {
+			case <-time.After(e.leases.PollInterval()):
+			case <-e.ctx.Done():
+				return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx)), 0, false
+			}
+			if v, cerr, ok := e.diskLoad(key, codec); ok {
+				return v, cerr, 0, true
+			}
+
+		default: // lease.Degraded
+			// The lease machinery is unusable for this key (I/O error, no
+			// hard links, corrupt-and-unremovable lease). Compute without
+			// exclusion: worst case is duplicated work, and last-rename-wins
+			// on identical bytes keeps the cache coherent.
+			val, err, attempts = e.run(key, label, compute)
+			e.diskStore(key, codec, val, err)
+			return val, err, attempts, false
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"o2k/internal/core"
+	"o2k/internal/runner/lease"
 )
 
 // CellStat is one unique cell's execution record.
@@ -35,10 +36,11 @@ type Report struct {
 	Failures     int           `json:"failures"`       // completed cells that ended in error
 	CellWall     time.Duration `json:"cell_wall_ns"`   // summed compute time of all unique cells
 	DiskHits     int64         `json:"disk_hits"`      // unique cells restored from the persistent cache
-	PlanCells    int           `json:"plan_cells"`     // completed plan-tier cells (structures + plans)
-	PlanDiskHits int64         `json:"plan_disk_hits"` // plan-tier cells restored from the persistent cache
-	Disk         *DiskStats    `json:"disk,omitempty"` // persistent-cache telemetry, nil when memory-only
-	Cells        []CellStat    `json:"cells"`          // sorted by wall time, descending
+	PlanCells    int           `json:"plan_cells"`      // completed plan-tier cells (structures + plans)
+	PlanDiskHits int64         `json:"plan_disk_hits"`  // plan-tier cells restored from the persistent cache
+	Disk         *DiskStats    `json:"disk,omitempty"`  // persistent-cache telemetry, nil when memory-only
+	Lease        *lease.Stats  `json:"lease,omitempty"` // cross-process single-flight telemetry, nil when solo
+	Cells        []CellStat    `json:"cells"`           // sorted by wall time, descending
 }
 
 // Report snapshots the engine's statistics. It is safe to call while cells
@@ -57,6 +59,10 @@ func (e *Engine) Report() *Report {
 	r := &Report{Jobs: e.jobs, Unique: len(cells)}
 	if e.cache != nil {
 		r.Disk = diskStats(e.cache.Counters())
+	}
+	if e.leases != nil {
+		ls := e.leases.Stats()
+		r.Lease = &ls
 	}
 	for _, c := range cells {
 		s := CellStat{Label: c.label, Key: c.key, Kind: c.kind, Hits: c.hits.Load(), Dedups: c.dedup.Load()}
@@ -117,6 +123,10 @@ func (r *Report) Table() *core.Table {
 		t.AddRow("disk cache", r.Disk.String(), "", "")
 		t.AddRow("cells from disk", fmt.Sprintf("%d", r.DiskHits), "", "")
 		t.AddRow("plan cells from disk", fmt.Sprintf("%d of %d", r.PlanDiskHits, r.PlanCells), "", "")
+	}
+	if r.Lease != nil {
+		t.AddRow("leases", fmt.Sprintf("acquired=%d stolen=%d lost=%d degraded=%d",
+			r.Lease.Acquired, r.Lease.Stolen, r.Lease.Lost, r.Lease.Degraded), "", "")
 	}
 	if r.Failures > 0 {
 		t.AddRow("failed cells", fmt.Sprintf("%d", r.Failures), "", "")

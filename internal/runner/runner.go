@@ -33,6 +33,8 @@ package runner
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"o2k/internal/runner/diskcache"
+	"o2k/internal/runner/lease"
 )
 
 // Policy is the engine's fault-tolerance configuration. The zero value means
@@ -56,11 +59,19 @@ type Policy struct {
 	// error is marked Transient. Deterministic failures are never retried.
 	Retries int
 	// Backoff is the sleep before the first retry, doubling per attempt.
-	// 0 selects 10ms when Retries > 0.
+	// 0 selects 10ms when Retries > 0. Each sleep is jittered over
+	// [b/2, b]: pure doubling synchronizes retry storms the moment N
+	// processes share one cache directory and hit the same flaky resource
+	// together, while equal jitter keeps the mean and the cap.
 	Backoff time.Duration
+	// Seed seeds the jitter stream. 0 derives a per-process seed (the
+	// desynchronization is the point); tests that need reproducible sleeps
+	// set it explicitly.
+	Seed int64
 }
 
-// backoff returns the sleep before retry attempt i (0-based).
+// backoff returns the un-jittered sleep cap before retry attempt i
+// (0-based); the engine jitters it at sleep time.
 func (p Policy) backoff(i int) time.Duration {
 	b := p.Backoff
 	if b <= 0 {
@@ -80,8 +91,12 @@ type Engine struct {
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 
-	cache *diskcache.Cache // persistent cell cache, nil when memory-only
-	hook  Hook             // cell lifecycle observer, nil when silent
+	cache  *diskcache.Cache // persistent cell cache, nil when memory-only
+	leases *lease.Manager   // cross-process single-flight, nil when solo
+	hook   Hook             // cell lifecycle observer, nil when silent
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // retry-backoff jitter stream
 
 	mu    sync.Mutex
 	cells map[string]*cell
@@ -125,14 +140,29 @@ func NewWithPolicy(ctx context.Context, jobs int, pol Policy) *Engine {
 		ctx = context.Background()
 	}
 	ectx, cancel := context.WithCancelCause(ctx)
+	seed := pol.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano() ^ int64(os.Getpid())<<32
+	}
 	return &Engine{
 		jobs:   jobs,
 		sem:    make(chan struct{}, jobs),
 		pol:    pol,
 		ctx:    ectx,
 		cancel: cancel,
+		rng:    rand.New(rand.NewSource(seed)),
 		cells:  make(map[string]*cell),
 	}
+}
+
+// jitterBackoff maps the policy's doubling cap for retry attempt i to an
+// equal-jitter sleep: uniform over [cap/2, cap].
+func (e *Engine) jitterBackoff(i int) time.Duration {
+	b := e.pol.backoff(i)
+	e.rngMu.Lock()
+	d := b/2 + time.Duration(e.rng.Int63n(int64(b/2)+1))
+	e.rngMu.Unlock()
+	return d
 }
 
 // Jobs returns the worker-pool size.
@@ -216,6 +246,11 @@ func (e *Engine) DoCached(key, label string, codec *Codec, compute func(ctx cont
 		if e.hook != nil {
 			e.hook(Event{Kind: EventDiskHit, Key: key, Label: label, Start: start, Dur: time.Since(start), Err: errMsg(cerr)})
 		}
+	} else if e.leases != nil && e.cache != nil && codec != nil {
+		c.val, c.err, c.attempts, c.fromDisk = e.computeShared(key, label, codec, compute)
+		if c.fromDisk && e.hook != nil {
+			e.hook(Event{Kind: EventDiskHit, Key: key, Label: label, Start: start, Dur: time.Since(start), Err: errMsg(c.err)})
+		}
 	} else {
 		c.val, c.err, c.attempts = e.run(key, label, compute)
 		e.diskStore(key, codec, c.val, c.err)
@@ -245,7 +280,7 @@ func (e *Engine) run(key, label string, compute func(ctx context.Context) (any, 
 			e.hook(Event{Kind: EventRetry, Key: key, Label: label, Start: time.Now(), Attempt: attempts, Err: errMsg(err)})
 		}
 		select {
-		case <-time.After(e.pol.backoff(attempts - 1)):
+		case <-time.After(e.jitterBackoff(attempts - 1)):
 		case <-e.ctx.Done():
 			return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx)), attempts
 		}
