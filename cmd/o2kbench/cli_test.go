@@ -253,7 +253,7 @@ func TestCLIBadTraceTargetFailsFast(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess test")
 	}
-	stdout, stderr, code := o2kbench(t, "-quick -trace-ascii -trace-exp stencil")
+	stdout, stderr, code := o2kbench(t, "-quick -trace-ascii -trace-exp warp")
 	if code != 2 {
 		t.Fatalf("bad -trace-exp exited %d, want 2 (stderr: %s)", code, stderr)
 	}

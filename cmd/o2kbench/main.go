@@ -2,13 +2,20 @@
 //
 // Usage:
 //
-//	o2kbench [-exp name] [-quick] [-procs 1,2,4|preset] [-format text|json] [-list]
+//	o2kbench [-exp name] [-quick] [-procs 1,2,4|preset] [-format text|json] [-list] [-version]
 //	         [-engine event|goroutine] [-jobs N] [-timeout d] [-cellretries N]
 //	         [-stalldeadline d] [-runreport[=text|json]]
 //	         [-cache dir] [-cache-verify] [-cache-clear]
 //	         [-workers N] [-worker-restarts N] [-chaos-kill d] [-leases]
 //	         [-trace f] [-trace-exp name] [-trace-ascii] [-phasereport]
 //	         [-cpuprofile f] [-memprofile f]
+//	o2kbench serve [-addr :8080] [-cache dir] [-leases] [-inflight N] [-queue N] ...
+//
+// `o2kbench serve` runs the engine as a long-running HTTP daemon
+// (internal/server, DESIGN.md §5.11): POST /v1/experiments streams per-cell
+// NDJSON and finishes with the CLI's exact stdout bytes, GET /v1/cells/...
+// answers single-cell queries, and /v1/report, /v1/cache, /healthz, and
+// /metrics expose the run telemetry. See serve.go for its flag set.
 //
 // The flag surface reads as four sections (see -help): experiment
 // selection and output, engine and execution, multi-process sweeps, and
@@ -24,7 +31,8 @@
 //
 // The trace flags are the observability subsystem (DESIGN.md §5.6): they
 // re-run one application cell with phase-timeline recording enabled —
-// -trace-exp selects it ("mesh", "nbody", or narrowed like "mesh/mp") at
+// -trace-exp selects it ("mesh", "nbody", "stencil", "cg", or "hybrid",
+// models narrowed like "mesh/mp"; hybrid is single-model) at
 // the largest -procs count — and render it as Chrome trace-event JSON
 // (-trace FILE, loadable in Perfetto), a terminal Gantt chart
 // (-trace-ascii), or a per-phase min/max/mean/imbalance table
@@ -95,6 +103,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -136,21 +145,10 @@ func listTable() *core.Table {
 }
 
 // parseProcs parses the -procs value: either a named preset or a
-// comma-separated processor-count list.
+// comma-separated processor-count list (shared with the serve subcommand
+// through experiments.ParseProcs).
 func parseProcs(s string) ([]int, error) {
-	if ps, ok := experiments.ProcsPreset(s); ok {
-		return ps, nil
-	}
-	var ps []int
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || v < 1 {
-			return nil, fmt.Errorf("bad processor count %q (counts are positive integers; presets: %s)",
-				f, strings.Join(experiments.ProcsPresetNames(), ", "))
-		}
-		ps = append(ps, v)
-	}
-	return ps, nil
+	return experiments.ParseProcs(s)
 }
 
 // parseWorkerSpec parses the -worker value "i/N" into (shard, shards).
@@ -240,7 +238,7 @@ var flagGroups = []struct {
 	names []string
 }{
 	{"Experiment selection and output", []string{
-		"exp", "list", "quick", "procs", "format"}},
+		"exp", "list", "quick", "procs", "format", "version"}},
 	{"Engine and execution", []string{
 		"engine", "jobs", "timeout", "cellretries", "stalldeadline", "runreport",
 		"cache", "cache-verify", "cache-clear"}},
@@ -270,6 +268,7 @@ func printFlag(out io.Writer, f *flag.Flag) {
 func usage() {
 	out := flag.CommandLine.Output()
 	fmt.Fprint(out, "Usage: o2kbench [flags]\n")
+	fmt.Fprint(out, "       o2kbench serve [flags]   (experiment-serving daemon; serve -h for its flags)\n")
 	fmt.Fprint(out, "\nRegenerates the study's tables and figures; -list prints the experiment index.\n")
 	seen := map[string]bool{}
 	for _, g := range flagGroups {
@@ -384,7 +383,46 @@ func main() {
 	os.Exit(run())
 }
 
+// version prints the build identity: the binary's module/VCS stamp and the
+// cache version fence (schema + fingerprint). Two binaries that print the
+// same fingerprint share disk-cache entries; differing fingerprints fence
+// each other's entries off as stale.
+func printVersion() {
+	rev, modified := "", ""
+	mod := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			mod = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+	}
+	fmt.Printf("o2kbench %s\n", mod)
+	if rev != "" {
+		dirty := ""
+		if modified == "true" {
+			dirty = " (modified)"
+		}
+		fmt.Printf("vcs: %s%s\n", rev, dirty)
+	}
+	fmt.Printf("go: %s\n", runtime.Version())
+	fmt.Printf("cache schema: %s\n", diskcache.Schema)
+	fmt.Printf("cache fingerprint: %s\n", diskcache.Fingerprint())
+}
+
 func run() int {
+	// Subcommand dispatch: `o2kbench serve` is the daemon mode (serve.go);
+	// everything else is the classic flag-driven one-shot run.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		return runServe(os.Args[2:])
+	}
+
 	exp := flag.String("exp", "all", "experiment to run (-list for the index; 'all' runs everything)")
 	quick := flag.Bool("quick", false, "reduced workloads and processor counts")
 	procs := flag.String("procs", "", "processor counts: a comma-separated list, or a preset name\n("+strings.Join(experiments.ProcsPresetNames(), ", ")+")")
@@ -406,8 +444,9 @@ func run() int {
 	workerSpec := flag.String("worker", "", "run as worker i/N of a fleet (set by -workers; requires -cache): enables\nleases with shard bias i of N")
 	leasesOn := flag.Bool("leases", false, "with -cache: coordinate with other processes on the same cache directory\nthrough per-cell lease files, even without -workers")
 	list := flag.Bool("list", false, "list every experiment name, its aliases, and its description")
+	version := flag.Bool("version", false, "print the build identity and cache version fence, then exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
-	traceExp := flag.String("trace-exp", "mesh", "what the trace flags re-run with tracing on: mesh[/MODEL] or nbody[/MODEL]")
+	traceExp := flag.String("trace-exp", "mesh", "what the trace flags re-run with tracing on:\nmesh, nbody, stencil, or cg (each optionally /MODEL), or hybrid")
 	traceASCII := flag.Bool("trace-ascii", false, "print the traced run's phase timeline as a text Gantt chart")
 	phaseReport := flag.Bool("phasereport", false, "print per-phase min/max/mean/imbalance of the traced run to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -445,6 +484,10 @@ func run() int {
 		}()
 	}
 
+	if *version {
+		printVersion()
+		return 0
+	}
 	if *list {
 		fmt.Print(listTable().String())
 		return 0

@@ -32,12 +32,28 @@ func RunHybrid(mach *machine.Machine, w Workload) core.Metrics {
 
 // RunHybridWithPlans is RunHybrid with precomputed node-granularity plans.
 func RunHybridWithPlans(mach *machine.Machine, w Workload, plans []*CyclePlan) core.Metrics {
+	met, _ := runHybrid(mach, w, plans, false)
+	return met
+}
+
+// TraceHybridWithPlans executes the hybrid model like RunHybridWithPlans but
+// with phase-timeline tracing enabled, returning the processor group for
+// sim.RenderTimeline.
+func TraceHybridWithPlans(mach *machine.Machine, w Workload, plans []*CyclePlan) *sim.Group {
+	_, g := runHybrid(mach, w, plans, true)
+	return g
+}
+
+func runHybrid(mach *machine.Machine, w Workload, plans []*CyclePlan, trace bool) (core.Metrics, *sim.Group) {
 	nprocs := mach.Procs()
 	nnodes := mach.Nodes()
 	if plans[0].Dec.P != nnodes {
 		panic("adaptmesh: hybrid plans must be built for mach.Nodes() parts")
 	}
 	g := sim.NewGroup(nprocs)
+	if trace {
+		g.EnableTrace()
+	}
 	sp := numa.NewSpace(mach)
 	// The MP layer spans node leaders: give it a machine whose "processors"
 	// are the nodes themselves, preserving the inter-node hop geometry.
@@ -106,7 +122,7 @@ func RunHybridWithPlans(mach *machine.Machine, w Workload, plans []*CyclePlan) c
 	// Hybrid data memory: MP-style replication, but at node granularity.
 	mpB, _, _ := maxDataMemory(plans, 2+w.AuxFields)
 	met.DataBytes = mpB
-	return met
+	return met, g
 }
 
 // maxDataMemory returns the peak per-model analytic memory over the plans.

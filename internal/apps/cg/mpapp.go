@@ -18,9 +18,8 @@ const (
 	tagPartial = 32
 )
 
-func runMP(mach *machine.Machine, w Workload, pl *Plan) core.Metrics {
+func runMP(mach *machine.Machine, w Workload, pl *Plan, g *sim.Group) core.Metrics {
 	nprocs := mach.Procs()
-	g := sim.NewGroup(nprocs)
 	world := mp.NewWorld(mach)
 	sp := numa.NewSpace(mach)
 	vecs := make([][4]*numa.Array[float64], nprocs) // x, r, p, q per rank

@@ -21,13 +21,29 @@ func Run(model core.Model, mach *machine.Machine, w Workload) core.Metrics {
 
 // RunWithPlan is Run with a precomputed plan (shareable across models).
 func RunWithPlan(model core.Model, mach *machine.Machine, w Workload, p *Plan) core.Metrics {
+	met, _ := runModel(model, mach, w, p, false)
+	return met
+}
+
+// TraceRun executes the workload like RunWithPlan but with phase-timeline
+// tracing enabled, returning the processor group for sim.RenderTimeline.
+func TraceRun(model core.Model, mach *machine.Machine, w Workload, p *Plan) *sim.Group {
+	_, g := runModel(model, mach, w, p, true)
+	return g
+}
+
+func runModel(model core.Model, mach *machine.Machine, w Workload, p *Plan, trace bool) (core.Metrics, *sim.Group) {
+	g := sim.NewGroup(mach.Procs())
+	if trace {
+		g.EnableTrace()
+	}
 	switch model {
 	case core.MP:
-		return runMP(mach, w, p)
+		return runMP(mach, w, p, g), g
 	case core.SHMEM:
-		return runSHMEM(mach, w, p)
+		return runSHMEM(mach, w, p, g), g
 	case core.SAS:
-		return runSAS(mach, w, p)
+		return runSAS(mach, w, p, g), g
 	}
 	panic("cg: unknown model")
 }

@@ -13,9 +13,8 @@ import (
 	"o2k/internal/sim"
 )
 
-func runSAS(mach *machine.Machine, w Workload, pl *Plan) core.Metrics {
+func runSAS(mach *machine.Machine, w Workload, pl *Plan, g *sim.Group) core.Metrics {
 	nprocs := mach.Procs()
-	g := sim.NewGroup(nprocs)
 	sp := numa.NewSpace(mach)
 	world := sas.NewWorld(mach, sp)
 

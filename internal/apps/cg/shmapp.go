@@ -12,9 +12,8 @@ import (
 	"o2k/internal/sim"
 )
 
-func runSHMEM(mach *machine.Machine, w Workload, pl *Plan) core.Metrics {
+func runSHMEM(mach *machine.Machine, w Workload, pl *Plan, g *sim.Group) core.Metrics {
 	nprocs := mach.Procs()
-	g := sim.NewGroup(nprocs)
 	world := shm.NewWorld(mach, numa.NewSpace(mach))
 	x := shm.AllocWorld[float64](world, pl.NV)
 	rv := shm.AllocWorld[float64](world, pl.NV)

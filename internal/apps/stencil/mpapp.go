@@ -13,9 +13,8 @@ import (
 
 const tagHalo = 21
 
-func runMP(mach *machine.Machine, w Workload) core.Metrics {
+func runMP(mach *machine.Machine, w Workload, g *sim.Group) core.Metrics {
 	np := mach.Procs()
-	g := sim.NewGroup(np)
 	world := mp.NewWorld(mach)
 	sp := numa.NewSpace(mach)
 	size := (w.N + 2) * (w.N + 2)

@@ -12,9 +12,8 @@ import (
 	"o2k/internal/sim"
 )
 
-func runSAS(mach *machine.Machine, w Workload) core.Metrics {
+func runSAS(mach *machine.Machine, w Workload, g *sim.Group) core.Metrics {
 	np := mach.Procs()
-	g := sim.NewGroup(np)
 	sp := numa.NewSpace(mach)
 	world := sas.NewWorld(mach, sp)
 	size := (w.N + 2) * (w.N + 2)

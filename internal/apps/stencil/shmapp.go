@@ -11,9 +11,8 @@ import (
 	"o2k/internal/sim"
 )
 
-func runSHMEM(mach *machine.Machine, w Workload) core.Metrics {
+func runSHMEM(mach *machine.Machine, w Workload, g *sim.Group) core.Metrics {
 	np := mach.Procs()
-	g := sim.NewGroup(np)
 	sp := numa.NewSpace(mach)
 	world := shm.NewWorld(mach, sp)
 	size := (w.N + 2) * (w.N + 2)

@@ -84,13 +84,29 @@ func idx(w Workload, i, j int) int { return i*(w.N+2) + j }
 
 // Run executes the workload under the given model.
 func Run(model core.Model, mach *machine.Machine, w Workload) core.Metrics {
+	met, _ := runModel(model, mach, w, false)
+	return met
+}
+
+// TraceRun executes the workload like Run but with phase-timeline tracing
+// enabled, returning the processor group for sim.RenderTimeline.
+func TraceRun(model core.Model, mach *machine.Machine, w Workload) *sim.Group {
+	_, g := runModel(model, mach, w, true)
+	return g
+}
+
+func runModel(model core.Model, mach *machine.Machine, w Workload, trace bool) (core.Metrics, *sim.Group) {
+	g := sim.NewGroup(mach.Procs())
+	if trace {
+		g.EnableTrace()
+	}
 	switch model {
 	case core.MP:
-		return runMP(mach, w)
+		return runMP(mach, w, g), g
 	case core.SHMEM:
-		return runSHMEM(mach, w)
+		return runSHMEM(mach, w, g), g
 	case core.SAS:
-		return runSAS(mach, w)
+		return runSAS(mach, w, g), g
 	}
 	panic("stencil: unknown model")
 }

@@ -18,6 +18,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -151,7 +152,7 @@ func init() {
 		Standalone: true})
 }
 
-func buildTable1(e *runner.Engine, o Opts) *core.Table {
+func buildTable1(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Table 1 — Application and workload characteristics (reconstructed)",
 		Header: []string{"application", "elements", "edges/interactions", "adapt cycles/steps", "sweeps per cycle", "max imbalance pre-LB"},
@@ -161,9 +162,9 @@ func buildTable1(e *runner.Engine, o Opts) *core.Table {
 	var cgPl *cg.Plan
 	var meshErr, nbErr, cgErr error
 	e.Warm(
-		func() { meshPlans, meshErr = e.MeshPlans(o.MeshW, 1) },
-		func() { nbPlans, nbErr = e.NBodyPlans(o.NBodyW, 1) },
-		func() { cgPl, cgErr = e.CGPlan(o.CGW, 1) },
+		func() { meshPlans, meshErr = e.MeshPlans(ctx, o.MeshW, 1) },
+		func() { nbPlans, nbErr = e.NBodyPlans(ctx, o.NBodyW, 1) },
+		func() { cgPl, cgErr = e.CGPlan(ctx, o.CGW, 1) },
 	)
 	// A zero-cycle/zero-step workload yields an empty plan sequence; render
 	// it as a failure row instead of dividing by len() == 0 below.
@@ -224,20 +225,20 @@ func buildTable1(e *runner.Engine, o Opts) *core.Table {
 	return t
 }
 
-func buildFig2(e *runner.Engine, o Opts) *core.Table {
-	return scalingTable(e, "Figure 2 — Adaptive mesh: time and speedup vs processors",
-		o.Procs, func(p int) [3]runner.Res { return e.MeshModels(machine.Default(p), o.MeshW) })
+func buildFig2(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
+	return scalingTable(ctx, e, "Figure 2 — Adaptive mesh: time and speedup vs processors",
+		o.Procs, func(p int) [3]runner.Res { return e.MeshModels(ctx, machine.Default(p), o.MeshW) })
 }
 
-func buildFig3(e *runner.Engine, o Opts) *core.Table {
-	return scalingTable(e, "Figure 3 — Barnes-Hut N-body: time and speedup vs processors",
-		o.Procs, func(p int) [3]runner.Res { return e.NBodyModels(machine.Default(p), o.NBodyW) })
+func buildFig3(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
+	return scalingTable(ctx, e, "Figure 3 — Barnes-Hut N-body: time and speedup vs processors",
+		o.Procs, func(p int) [3]runner.Res { return e.NBodyModels(ctx, machine.Default(p), o.NBodyW) })
 }
 
 // scalingTable warms every processor count's cells in parallel, then
 // assembles the rows serially from the (now cached) results, so row order
 // never depends on execution order.
-func scalingTable(e *runner.Engine, title string, procs []int, run func(p int) [3]runner.Res) *core.Table {
+func scalingTable(ctx context.Context, e *runner.Engine, title string, procs []int, run func(p int) [3]runner.Res) *core.Table {
 	t := &core.Table{
 		Title: title,
 		Header: []string{"P", "MP time", "SHMEM time", "CC-SAS time",
@@ -262,9 +263,9 @@ func scalingTable(e *runner.Engine, title string, procs []int, run func(p int) [
 	return t
 }
 
-func buildFig4(e *runner.Engine, o Opts) *core.Table {
+func buildFig4(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	p := o.Procs[len(o.Procs)-1]
-	m := e.MeshModels(machine.Default(p), o.MeshW)
+	m := e.MeshModels(ctx, machine.Default(p), o.MeshW)
 	t := &core.Table{
 		Title:  fmt.Sprintf("Figure 4 — Adaptive mesh phase breakdown at P=%d", p),
 		Header: []string{"phase", "MP", "SHMEM", "CC-SAS"},
@@ -288,12 +289,12 @@ func buildFig4(e *runner.Engine, o Opts) *core.Table {
 	return t
 }
 
-func buildTable6(e *runner.Engine, o Opts) *core.Table {
+func buildTable6(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	p := o.Procs[len(o.Procs)-1]
 	var mm, nb [3]runner.Res
 	e.Warm(
-		func() { mm = e.MeshModels(machine.Default(p), o.MeshW) },
-		func() { nb = e.NBodyModels(machine.Default(p), o.NBodyW) },
+		func() { mm = e.MeshModels(ctx, machine.Default(p), o.MeshW) },
+		func() { nb = e.NBodyModels(ctx, machine.Default(p), o.NBodyW) },
 	)
 	t := &core.Table{
 		Title:  fmt.Sprintf("Table 6 — Model-visible data memory at P=%d (bytes)", p),
@@ -330,7 +331,7 @@ func fig7Config(procs int, ratio float64) machine.Config {
 	return cfg
 }
 
-func buildFig7(e *runner.Engine, o Opts) *core.Table {
+func buildFig7(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	procs := o.Procs[len(o.Procs)-1]
 	if procs > 32 {
 		procs = 32
@@ -343,7 +344,7 @@ func buildFig7(e *runner.Engine, o Opts) *core.Table {
 	fns := make([]func(), len(fig7Ratios))
 	for i, ratio := range fig7Ratios {
 		i, ratio := i, ratio
-		fns[i] = func() { res[i] = e.MeshModels(fig7Config(procs, ratio), o.MeshW) }
+		fns[i] = func() { res[i] = e.MeshModels(ctx, fig7Config(procs, ratio), o.MeshW) }
 	}
 	e.Warm(fns...)
 	for i, ratio := range fig7Ratios {
@@ -354,7 +355,7 @@ func buildFig7(e *runner.Engine, o Opts) *core.Table {
 	return t
 }
 
-func buildFig8(e *runner.Engine, o Opts) *core.Table {
+func buildFig8(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	procs := o.Procs[len(o.Procs)-1]
 	t := &core.Table{
 		Title:  fmt.Sprintf("Figure 8 — PLUM remapping on vs off (mesh, P=%d)", procs),
@@ -364,8 +365,8 @@ func buildFig8(e *runner.Engine, o Opts) *core.Table {
 	wOff.NoRemap = true
 	var on, off [3]runner.Res
 	e.Warm(
-		func() { on = e.MeshModels(machine.Default(procs), o.MeshW) },
-		func() { off = e.MeshModels(machine.Default(procs), wOff) },
+		func() { on = e.MeshModels(ctx, machine.Default(procs), o.MeshW) },
+		func() { off = e.MeshModels(ctx, machine.Default(procs), wOff) },
 	)
 	moved := func(r runner.Res) string {
 		if r.Err != nil {
@@ -380,7 +381,7 @@ func buildFig8(e *runner.Engine, o Opts) *core.Table {
 	return t
 }
 
-func buildTable9(e *runner.Engine, o Opts) *core.Table {
+func buildTable9(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Table 9 — Traffic statistics (mesh application)",
 		Header: []string{"P", "model", "msgs", "bytes", "remote misses", "coh evictions", "lock ops"},
@@ -393,7 +394,7 @@ func buildTable9(e *runner.Engine, o Opts) *core.Table {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res[i] = e.MeshModels(machine.Default(p), o.MeshW)
+			res[i] = e.MeshModels(ctx, machine.Default(p), o.MeshW)
 		}()
 	}
 	wg.Wait()
@@ -411,7 +412,7 @@ func buildTable9(e *runner.Engine, o Opts) *core.Table {
 	return t
 }
 
-func buildFig10(e *runner.Engine, o Opts) *core.Table {
+func buildFig10(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Figure 10 — MP:CC-SAS time ratio, regular vs adaptive workloads",
 		Header: []string{"P", "stencil (regular)", "adaptive mesh", "n-body"},
@@ -431,10 +432,10 @@ func buildFig10(e *runner.Engine, o Opts) *core.Table {
 	for i, p := range procs {
 		i, p := i, p
 		fns = append(fns,
-			func() { res[i].st0 = e.Stencil(core.MP, machine.Default(p), o.StencilW) },
-			func() { res[i].st2 = e.Stencil(core.SAS, machine.Default(p), o.StencilW) },
-			func() { res[i].me = e.MeshModels(machine.Default(p), o.MeshW) },
-			func() { res[i].nb = e.NBodyModels(machine.Default(p), o.NBodyW) },
+			func() { res[i].st0 = e.Stencil(ctx, core.MP, machine.Default(p), o.StencilW) },
+			func() { res[i].st2 = e.Stencil(ctx, core.SAS, machine.Default(p), o.StencilW) },
+			func() { res[i].me = e.MeshModels(ctx, machine.Default(p), o.MeshW) },
+			func() { res[i].nb = e.NBodyModels(ctx, machine.Default(p), o.NBodyW) },
 		)
 	}
 	e.Warm(fns...)
@@ -446,7 +447,7 @@ func buildFig10(e *runner.Engine, o Opts) *core.Table {
 	return t
 }
 
-func buildFig11(e *runner.Engine, o Opts) *core.Table {
+func buildFig11(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Figure 11 — CC-SAS page migration ablation (adaptive mesh)",
 		Header: []string{"P", "first-touch", "page-migrate", "remote misses FT", "remote misses PM"},
@@ -465,8 +466,8 @@ func buildFig11(e *runner.Engine, o Opts) *core.Table {
 	for i, p := range procs {
 		i, p := i, p
 		fns = append(fns,
-			func() { ft[i] = e.Mesh(core.SAS, machine.Default(p), o.MeshW) },
-			func() { pm[i] = e.Mesh(core.SAS, machine.Default(p), wMig) },
+			func() { ft[i] = e.Mesh(ctx, core.SAS, machine.Default(p), o.MeshW) },
+			func() { pm[i] = e.Mesh(ctx, core.SAS, machine.Default(p), wMig) },
 		)
 	}
 	e.Warm(fns...)
@@ -495,7 +496,7 @@ func fig12Classes(procs int) []struct {
 	}
 }
 
-func buildFig12(e *runner.Engine, o Opts) *core.Table {
+func buildFig12(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	procs := o.Procs[len(o.Procs)-1]
 	if procs > 32 {
 		procs = 32
@@ -509,7 +510,7 @@ func buildFig12(e *runner.Engine, o Opts) *core.Table {
 	fns := make([]func(), len(classes))
 	for i, cl := range classes {
 		i, cl := i, cl
-		fns[i] = func() { res[i] = e.MeshModels(cl.cfg, o.MeshW) }
+		fns[i] = func() { res[i] = e.MeshModels(ctx, cl.cfg, o.MeshW) }
 	}
 	e.Warm(fns...)
 	for i, cl := range classes {
@@ -528,7 +529,7 @@ func buildFig12(e *runner.Engine, o Opts) *core.Table {
 	return t
 }
 
-func buildFig13(e *runner.Engine, o Opts) *core.Table {
+func buildFig13(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	procs := o.Procs[len(o.Procs)-1]
 	t := &core.Table{
 		Title:  fmt.Sprintf("Figure 13 — Hybrid MP+SAS extension (mesh, P=%d)", procs),
@@ -547,9 +548,9 @@ func buildFig13(e *runner.Engine, o Opts) *core.Table {
 	for i, cl := range classes {
 		i, cl := i, cl
 		fns = append(fns,
-			func() { res[i].pure = e.Mesh(core.MP, cl.cfg, o.MeshW) },
-			func() { res[i].sas = e.Mesh(core.SAS, cl.cfg, o.MeshW) },
-			func() { res[i].hyb = e.MeshHybrid(cl.cfg, o.MeshW) },
+			func() { res[i].pure = e.Mesh(ctx, core.MP, cl.cfg, o.MeshW) },
+			func() { res[i].sas = e.Mesh(ctx, core.SAS, cl.cfg, o.MeshW) },
+			func() { res[i].hyb = e.MeshHybrid(ctx, cl.cfg, o.MeshW) },
 		)
 	}
 	e.Warm(fns...)
@@ -560,7 +561,7 @@ func buildFig13(e *runner.Engine, o Opts) *core.Table {
 	return t
 }
 
-func buildFig14(e *runner.Engine, o Opts) *core.Table {
+func buildFig14(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Figure 14 — Conjugate gradient: time vs processors, reduction share",
 		Header: []string{"P", "MP", "SHMEM", "CC-SAS", "MP sync frac", "CC-SAS sync frac"},
@@ -569,7 +570,7 @@ func buildFig14(e *runner.Engine, o Opts) *core.Table {
 	fns := make([]func(), len(o.Procs))
 	for i, p := range o.Procs {
 		i, p := i, p
-		fns[i] = func() { res[i] = e.CGModels(machine.Default(p), o.CGW) }
+		fns[i] = func() { res[i] = e.CGModels(ctx, machine.Default(p), o.CGW) }
 	}
 	e.Warm(fns...)
 	syncFrac := func(m core.Metrics) float64 { return m.PhaseFraction(sim.PhaseSync) }

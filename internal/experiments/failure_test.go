@@ -73,7 +73,7 @@ func TestVerdictsFlagFailedEvidence(t *testing.T) {
 	e := runner.New(2)
 	poisonMeshMP(e, o, maxP, errors.New("injected fault"))
 
-	tb := buildVerdicts(e, o)
+	tb := buildVerdicts(context.Background(), e, o)
 	if tb.Rows[0][0] != "V0" {
 		t.Fatalf("first verdict is %q, want the V0 evidence gate", tb.Rows[0][0])
 	}
@@ -92,7 +92,7 @@ func TestTable1EmptyPlansDegradeToFailedRows(t *testing.T) {
 	o := QuickOpts()
 	o.MeshW.Cycles = 0
 	o.NBodyW.Steps = 0
-	tb := buildTable1(runner.New(1), o)
+	tb := buildTable1(context.Background(), runner.New(1), o)
 	rows := map[string][]string{}
 	for _, r := range tb.Rows {
 		rows[r[0]] = r
@@ -114,8 +114,8 @@ func TestTable1EmptyPlansDegradeToFailedRows(t *testing.T) {
 
 func TestBuildSafeRecoversBuilderPanic(t *testing.T) {
 	s := Spec{Name: "boom", Title: "panicking builder",
-		Build: func(*runner.Engine, Opts) *core.Table { panic("kaboom") }}
-	tb := buildSafe(s, runner.New(1), QuickOpts())
+		Build: func(context.Context, *runner.Engine, Opts) *core.Table { panic("kaboom") }}
+	tb := buildSafe(context.Background(), s, runner.New(1), QuickOpts())
 	if tb == nil || len(tb.Rows) != 1 || !strings.Contains(tb.Rows[0][0], "builder panic: kaboom") {
 		t.Fatalf("buildSafe did not degrade the panic: %+v", tb)
 	}

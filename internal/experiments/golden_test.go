@@ -19,7 +19,7 @@ import (
 // constant to the hash printed in the failure message. Note that Table 5
 // measures this repository's own model-runtime sources (internal/mp, shm,
 // sas), so edits to those files legitimately change the bytes too.
-const goldenQuickSHA256 = "0c9be05c18cfd3715d4844edbef67d753f4171446b5b2874ebf35e7241174293"
+const goldenQuickSHA256 = "d90370fb8d7d18670f398affe2693bd24f19d685935217955570a14526cf27e8"
 
 func TestGoldenQuickOutput(t *testing.T) {
 	if testing.Short() {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bufio"
+	"context"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -14,7 +15,7 @@ import (
 // buildTable5 adapts the LoC counter to the registry's Build signature; it
 // measures source files, not simulations, so it takes nothing from the
 // engine.
-func buildTable5(_ *runner.Engine, _ Opts) *core.Table { return Table5() }
+func buildTable5(_ context.Context, _ *runner.Engine, _ Opts) *core.Table { return Table5() }
 
 // Table5 is the programming-effort table: lines of code of each model's
 // implementation, measured from this repository's own sources (the honest

@@ -1,6 +1,11 @@
 package experiments
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
 
 // Processor-count scaling presets for o2kbench's -procs flag. The paper's
 // sweep stops at 64 because the studied Origin2000 did; the event engine and
@@ -32,4 +37,23 @@ func ProcsPresetNames() []string {
 	}
 	sort.Strings(ns)
 	return ns
+}
+
+// ParseProcs resolves a -procs style value — a preset name or an explicit
+// comma-separated processor-count list — shared by the CLI flag and the
+// experiment server's request field.
+func ParseProcs(s string) ([]int, error) {
+	if ps, ok := ProcsPreset(s); ok {
+		return ps, nil
+	}
+	var ps []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad processor count %q (counts are positive integers; presets: %s)",
+				f, strings.Join(ProcsPresetNames(), ", "))
+		}
+		ps = append(ps, v)
+	}
+	return ps, nil
 }

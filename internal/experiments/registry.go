@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,8 +22,11 @@ type Spec struct {
 	Aliases []string // paper names, e.g. "fig2"
 	Title   string   // one-line description for -list
 	// Build assembles the experiment's table, requesting every simulation
-	// through e so unique cells are computed once and shared.
-	Build func(e *runner.Engine, o Opts) *core.Table
+	// through e so unique cells are computed once and shared. ctx scopes the
+	// request: the CLI passes its signal context, the experiment server a
+	// per-HTTP-request context (cancelling it aborts only this request's
+	// uncommitted cells — DESIGN.md §5.11).
+	Build func(ctx context.Context, e *runner.Engine, o Opts) *core.Table
 	// Standalone experiments (the verdict checker) are excluded from "all".
 	Standalone bool
 }
@@ -97,25 +101,47 @@ func Run(name string, o Opts) ([]*core.Table, error) {
 	return RunOn(runner.New(o.Jobs), name, o)
 }
 
+// Render joins a table list into the exact bytes o2kbench prints on stdout:
+// tables separated by one blank line, each rendered by core.Table.String.
+// The experiment server returns this rendering so its output can be compared
+// byte-for-byte against the CLI.
+func Render(tables []*core.Table) string {
+	var b strings.Builder
+	for i, t := range tables {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
 // RunOn is Run on a caller-supplied engine. The name "all" produces every
 // non-standalone experiment in index order, built concurrently over the
 // shared cell cache.
 func RunOn(e *runner.Engine, name string, o Opts) ([]*core.Table, error) {
+	return RunOnCtx(context.Background(), e, name, o)
+}
+
+// RunOnCtx is RunOn scoped to one request context: builders receive ctx and
+// thread it into every cell request, so cancelling ctx abandons this
+// invocation without disturbing other users of the shared engine.
+func RunOnCtx(ctx context.Context, e *runner.Engine, name string, o Opts) ([]*core.Table, error) {
 	if strings.ToLower(name) == "all" {
-		return RunAll(e, o), nil
+		return RunAllCtx(ctx, e, o), nil
 	}
 	s, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q (run -list for the index)", name)
 	}
-	return []*core.Table{buildSafe(s, e, o)}, nil
+	return []*core.Table{buildSafe(ctx, s, e, o)}, nil
 }
 
 // buildSafe runs one builder with panic recovery: cell failures are already
 // values (runner.Res), so a builder panic is a bug in the assembly code
 // itself — degrade it to a one-row error table rather than killing every
 // other experiment of the run.
-func buildSafe(s Spec, e *runner.Engine, o Opts) (t *core.Table) {
+func buildSafe(ctx context.Context, s Spec, e *runner.Engine, o Opts) (t *core.Table) {
 	defer func() {
 		if r := recover(); r != nil {
 			t = &core.Table{
@@ -125,7 +151,7 @@ func buildSafe(s Spec, e *runner.Engine, o Opts) (t *core.Table) {
 			}
 		}
 	}()
-	return s.Build(e, o)
+	return s.Build(ctx, e, o)
 }
 
 // RunAll builds every non-standalone experiment on the shared engine.
@@ -133,6 +159,11 @@ func buildSafe(s Spec, e *runner.Engine, o Opts) (t *core.Table) {
 // unique cell is still simulated exactly once — but results are returned in
 // registration order, so the output is byte-identical at any parallelism.
 func RunAll(e *runner.Engine, o Opts) []*core.Table {
+	return RunAllCtx(context.Background(), e, o)
+}
+
+// RunAllCtx is RunAll scoped to one request context.
+func RunAllCtx(ctx context.Context, e *runner.Engine, o Opts) []*core.Table {
 	specs := List()
 	out := make([]*core.Table, len(specs))
 	var wg sync.WaitGroup
@@ -143,7 +174,7 @@ func RunAll(e *runner.Engine, o Opts) []*core.Table {
 		wg.Add(1)
 		go func(i int, s Spec) {
 			defer wg.Done()
-			out[i] = buildSafe(s, e, o)
+			out[i] = buildSafe(ctx, s, e, o)
 		}(i, s)
 	}
 	wg.Wait()

@@ -6,6 +6,8 @@ import (
 
 	"o2k/internal/apps/adaptmesh"
 	"o2k/internal/apps/barnes"
+	"o2k/internal/apps/cg"
+	"o2k/internal/apps/stencil"
 	"o2k/internal/core"
 	"o2k/internal/machine"
 	"o2k/internal/sim"
@@ -29,8 +31,14 @@ type TracedRun struct {
 // traceTarget is a parsed -trace-exp argument: an application, optionally
 // narrowed to one model.
 type traceTarget struct {
-	app    string // "mesh" or "nbody"
+	app    string // "mesh", "nbody", "stencil", "cg", or "hybrid"
 	models []core.Model
+}
+
+// traceApps are the accepted -trace-exp applications. "hybrid" is the mesh
+// MP+SAS extension: a single-model target that rejects narrowing.
+var traceApps = map[string]bool{
+	"mesh": true, "nbody": true, "stencil": true, "cg": true, "hybrid": true,
 }
 
 // parseTraceTarget resolves "app" or "app/model" (case-insensitive; model
@@ -39,10 +47,13 @@ func parseTraceTarget(name string) (traceTarget, error) {
 	tg := traceTarget{models: core.AllModels()}
 	app, modelSel, narrowed := strings.Cut(strings.ToLower(name), "/")
 	tg.app = app
-	if app != "mesh" && app != "nbody" {
-		return tg, fmt.Errorf("unknown trace target %q (want mesh[/MODEL] or nbody[/MODEL])", name)
+	if !traceApps[app] {
+		return tg, fmt.Errorf("unknown trace target %q (want mesh, nbody, stencil, cg, or hybrid, optionally /MODEL)", name)
 	}
 	if narrowed {
+		if app == "hybrid" {
+			return tg, fmt.Errorf("trace target %q: hybrid is a single-model target, drop the /%s", name, modelSel)
+		}
 		switch modelSel {
 		case "mp":
 			tg.models = []core.Model{core.MP}
@@ -66,8 +77,9 @@ func CheckTraceTarget(name string) error {
 
 // Trace re-runs the named application with phase-timeline tracing enabled
 // at the largest processor count of o and returns one traced group per
-// selected model, in core.AllModels order. name is "mesh" or "nbody",
-// optionally narrowed as e.g. "mesh/mp".
+// selected model, in core.AllModels order. name is "mesh", "nbody",
+// "stencil", "cg", or "hybrid", optionally narrowed as e.g. "mesh/mp"
+// (hybrid is single-model by construction).
 func Trace(name string, o Opts) ([]TracedRun, error) {
 	tg, err := parseTraceTarget(name)
 	if err != nil {
@@ -99,6 +111,27 @@ func Trace(name string, o Opts) ([]TracedRun, error) {
 				Group: barnes.TraceRun(m, mach, o.NBodyW, plans),
 			})
 		}
+	case "stencil":
+		for _, m := range tg.models {
+			runs = append(runs, TracedRun{
+				Label: fmt.Sprintf("stencil %v P=%d", m, procs),
+				Group: stencil.TraceRun(m, mach, o.StencilW),
+			})
+		}
+	case "cg":
+		plan := cg.BuildPlan(o.CGW, procs)
+		for _, m := range tg.models {
+			runs = append(runs, TracedRun{
+				Label: fmt.Sprintf("cg %v P=%d", m, procs),
+				Group: cg.TraceRun(m, mach, o.CGW, plan),
+			})
+		}
+	case "hybrid":
+		plans := adaptmesh.BuildPlans(o.MeshW, mach.Nodes())
+		runs = append(runs, TracedRun{
+			Label: fmt.Sprintf("mesh MP+SAS P=%d", procs),
+			Group: adaptmesh.TraceHybridWithPlans(mach, o.MeshW, plans),
+		})
 	}
 	return runs, nil
 }

@@ -25,6 +25,11 @@ func TestParseTraceTarget(t *testing.T) {
 		{"mesh/sas", "mesh", []core.Model{core.SAS}},
 		{"mesh/cc-sas", "mesh", []core.Model{core.SAS}},
 		{"mesh/CCSAS", "mesh", []core.Model{core.SAS}},
+		{"stencil", "stencil", core.AllModels()},
+		{"stencil/mp", "stencil", []core.Model{core.MP}},
+		{"cg", "cg", core.AllModels()},
+		{"CG/shmem", "cg", []core.Model{core.SHMEM}},
+		{"hybrid", "hybrid", core.AllModels()},
 	}
 	for _, tc := range cases {
 		tg, err := parseTraceTarget(tc.in)
@@ -45,7 +50,7 @@ func TestParseTraceTarget(t *testing.T) {
 }
 
 func TestCheckTraceTargetRejects(t *testing.T) {
-	for _, bad := range []string{"", "stencil", "mesh/openmp", "nbody/", "mesh/mp/extra"} {
+	for _, bad := range []string{"", "warp", "mesh/openmp", "nbody/", "mesh/mp/extra", "hybrid/mp", "stencil/openmp"} {
 		if err := CheckTraceTarget(bad); err == nil {
 			t.Errorf("%q: accepted, want error", bad)
 		}

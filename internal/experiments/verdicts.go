@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"o2k/internal/apps/adaptmesh"
@@ -22,7 +23,7 @@ import (
 // failure. The per-claim verdicts below it still render — a failed cell
 // contributes zero-valued metrics there — but V0 makes the degradation
 // impossible to mistake for a clean FAIL or PASS.
-func buildVerdicts(e *runner.Engine, o Opts) *core.Table {
+func buildVerdicts(ctx context.Context, e *runner.Engine, o Opts) *core.Table {
 	t := &core.Table{
 		Title:  "Verdicts — the study's falsifiable predictions, checked",
 		Header: []string{"id", "claim", "verdict", "evidence"},
@@ -49,19 +50,19 @@ func buildVerdicts(e *runner.Engine, o Opts) *core.Table {
 	var onPlans, offPlans []*adaptmesh.CyclePlan
 	var onErr, offErr error
 	e.Warm(
-		func() { meshMax = e.MeshModels(machine.Default(maxP), o.MeshW) },
-		func() { meshMid = e.MeshModels(machine.Default(midP), o.MeshW) },
-		func() { nb = e.NBodyModels(machine.Default(maxP), o.NBodyW) },
-		func() { nbMid = e.NBodyModels(machine.Default(midP), o.NBodyW) },
-		func() { fig7 = buildFig7(e, o) },
-		func() { stMP = e.Stencil(core.MP, machine.Default(maxP), o.StencilW) },
-		func() { stSAS = e.Stencil(core.SAS, machine.Default(maxP), o.StencilW) },
-		func() { onPlans, onErr = e.MeshPlans(o.MeshW, maxP) },
-		func() { offPlans, offErr = e.MeshPlans(wOff, maxP) },
-		func() { t3e = e.MeshModels(machine.T3E(midP), o.MeshW) },
-		func() { hyb = e.MeshHybrid(machine.Default(maxP), o.MeshW) },
-		func() { cgMaxMP = e.CG(core.MP, machine.Default(maxP), o.CGW) },
-		func() { cgMidMP = e.CG(core.MP, machine.Default(midP), o.CGW) },
+		func() { meshMax = e.MeshModels(ctx, machine.Default(maxP), o.MeshW) },
+		func() { meshMid = e.MeshModels(ctx, machine.Default(midP), o.MeshW) },
+		func() { nb = e.NBodyModels(ctx, machine.Default(maxP), o.NBodyW) },
+		func() { nbMid = e.NBodyModels(ctx, machine.Default(midP), o.NBodyW) },
+		func() { fig7 = buildFig7(ctx, e, o) },
+		func() { stMP = e.Stencil(ctx, core.MP, machine.Default(maxP), o.StencilW) },
+		func() { stSAS = e.Stencil(ctx, core.SAS, machine.Default(maxP), o.StencilW) },
+		func() { onPlans, onErr = e.MeshPlans(ctx, o.MeshW, maxP) },
+		func() { offPlans, offErr = e.MeshPlans(ctx, wOff, maxP) },
+		func() { t3e = e.MeshModels(ctx, machine.T3E(midP), o.MeshW) },
+		func() { hyb = e.MeshHybrid(ctx, machine.Default(maxP), o.MeshW) },
+		func() { cgMaxMP = e.CG(ctx, core.MP, machine.Default(maxP), o.CGW) },
+		func() { cgMidMP = e.CG(ctx, core.MP, machine.Default(midP), o.CGW) },
 	)
 
 	// V0: evidence integrity.
@@ -173,7 +174,7 @@ func buildVerdicts(e *runner.Engine, o Opts) *core.Table {
 //
 // Deprecated: use Run("verdicts", o), or RunOn with the engine that already
 // ran the experiments the checks re-examine.
-func Verdicts(o Opts) *core.Table { return buildVerdicts(runner.New(o.Jobs), o) }
+func Verdicts(o Opts) *core.Table { return buildVerdicts(context.Background(), runner.New(o.Jobs), o) }
 
 func atoiSafe(s string) int {
 	n := 0

@@ -148,13 +148,13 @@ func cgPlanKey(w cg.Workload, procs int) string {
 
 // meshStructure returns the memoized (and persisted) adaptation history for
 // the mesh workload.
-func (e *Engine) meshStructure(w adaptmesh.Workload) (*adaptmesh.Structure, error) {
+func (e *Engine) meshStructure(ctx context.Context, w adaptmesh.Workload) (*adaptmesh.Structure, error) {
 	sw := meshStructWorkload(w)
 	codec := textCodec(
 		func(v any) ([]byte, error) { return adaptmesh.EncodeStructure(v.(*adaptmesh.Structure), sw), nil },
 		func(data []byte) (any, error) { return adaptmesh.DecodeStructure(data, sw) },
 	)
-	v, err := e.DoCached(meshStructKey(w), "mesh structure", codec, func(context.Context) (any, error) {
+	v, err := e.DoCachedCtx(ctx, meshStructKey(w), "mesh structure", codec, func(context.Context) (any, error) {
 		return adaptmesh.BuildStructure(sw), nil
 	})
 	if err != nil {
@@ -167,8 +167,8 @@ func (e *Engine) meshStructure(w adaptmesh.Workload) (*adaptmesh.Structure, erro
 // given processor count. The structure cell is resolved first (never inside
 // the plan cell's compute — see the Do discipline above); the plan cell then
 // persists only the per-cycle partitioning decisions.
-func (e *Engine) MeshPlans(w adaptmesh.Workload, procs int) ([]*adaptmesh.CyclePlan, error) {
-	st, err := e.meshStructure(w)
+func (e *Engine) MeshPlans(ctx context.Context, w adaptmesh.Workload, procs int) ([]*adaptmesh.CyclePlan, error) {
+	st, err := e.meshStructure(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +177,7 @@ func (e *Engine) MeshPlans(w adaptmesh.Workload, procs int) ([]*adaptmesh.CycleP
 		func(v any) ([]byte, error) { return adaptmesh.EncodePlans(v.([]*adaptmesh.CyclePlan), procs), nil },
 		func(data []byte) (any, error) { return st.DecodePlans(data, procs) },
 	)
-	v, err := e.DoCached(meshPlanKey(w, procs), fmt.Sprintf("mesh plans P=%d", procs), codec, func(context.Context) (any, error) {
+	v, err := e.DoCachedCtx(ctx, meshPlanKey(w, procs), fmt.Sprintf("mesh plans P=%d", procs), codec, func(context.Context) (any, error) {
 		return st.Plans(procs, pw.NoRemap), nil
 	})
 	if err != nil {
@@ -188,38 +188,38 @@ func (e *Engine) MeshPlans(w adaptmesh.Workload, procs int) ([]*adaptmesh.CycleP
 
 // Mesh runs the adaptive-mesh application under one model on one machine
 // configuration (cfg.Procs is the processor count), memoized.
-func (e *Engine) Mesh(model core.Model, cfg machine.Config, w adaptmesh.Workload) Res {
-	plans, err := e.MeshPlans(w, cfg.Procs)
+func (e *Engine) Mesh(ctx context.Context, model core.Model, cfg machine.Config, w adaptmesh.Workload) Res {
+	plans, err := e.MeshPlans(ctx, w, cfg.Procs)
 	if err != nil {
 		return Res{Err: fmt.Errorf("mesh plans: %w", err)}
 	}
 	key := core.CellKey("mesh/run", model, cfg, w)
-	return metricsRes(e.DoCached(key, fmt.Sprintf("mesh %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
+	return metricsRes(e.DoCachedCtx(ctx, key, fmt.Sprintf("mesh %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
 		return adaptmesh.RunWithPlans(model, machine.MustNew(cfg), w, plans), nil
 	}))
 }
 
 // MeshModels runs the mesh application under all three models, in parallel
 // where the pool allows, returning outcomes in core.AllModels order.
-func (e *Engine) MeshModels(cfg machine.Config, w adaptmesh.Workload) [3]Res {
+func (e *Engine) MeshModels(ctx context.Context, cfg machine.Config, w adaptmesh.Workload) [3]Res {
 	var out [3]Res
-	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.Mesh(m, cfg, w) })...)
+	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.Mesh(ctx, m, cfg, w) })...)
 	return out
 }
 
 // MeshHybrid runs the MP+SAS hybrid mesh extension: plans are built at the
 // machine's node count (one MP rank per node board).
-func (e *Engine) MeshHybrid(cfg machine.Config, w adaptmesh.Workload) Res {
+func (e *Engine) MeshHybrid(ctx context.Context, cfg machine.Config, w adaptmesh.Workload) Res {
 	m, err := machine.New(cfg)
 	if err != nil {
 		return Res{Err: fmt.Errorf("machine: %w", err)}
 	}
-	plans, err := e.MeshPlans(w, m.Nodes())
+	plans, err := e.MeshPlans(ctx, w, m.Nodes())
 	if err != nil {
 		return Res{Err: fmt.Errorf("mesh plans: %w", err)}
 	}
 	key := core.CellKey("mesh/hybrid", cfg, w)
-	return metricsRes(e.DoCached(key, fmt.Sprintf("mesh MP+SAS P=%d", cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
+	return metricsRes(e.DoCachedCtx(ctx, key, fmt.Sprintf("mesh MP+SAS P=%d", cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
 		return adaptmesh.RunHybridWithPlans(m, w, plans), nil
 	}))
 }
@@ -227,12 +227,12 @@ func (e *Engine) MeshHybrid(cfg machine.Config, w adaptmesh.Workload) Res {
 // nbodyStructure returns the memoized (and persisted) reference-simulation
 // record for the N-body workload — the force evaluations that dominate plan
 // construction.
-func (e *Engine) nbodyStructure(w barnes.Workload) (*barnes.Structure, error) {
+func (e *Engine) nbodyStructure(ctx context.Context, w barnes.Workload) (*barnes.Structure, error) {
 	codec := textCodec(
 		func(v any) ([]byte, error) { return barnes.EncodeStructure(v.(*barnes.Structure)), nil },
 		func(data []byte) (any, error) { return barnes.DecodeStructure(data, w) },
 	)
-	v, err := e.DoCached(nbodyStructKey(w), "n-body structure", codec, func(context.Context) (any, error) {
+	v, err := e.DoCachedCtx(ctx, nbodyStructKey(w), "n-body structure", codec, func(context.Context) (any, error) {
 		return barnes.BuildStructure(w), nil
 	})
 	if err != nil {
@@ -244,13 +244,13 @@ func (e *Engine) nbodyStructure(w barnes.Workload) (*barnes.Structure, error) {
 // NBodyPlans returns the memoized per-step plans for the N-body workload.
 // The per-P derivation (cost-zones over the captured positions) is cheap
 // relative to the persisted structure, so the plan cells stay memory-only.
-func (e *Engine) NBodyPlans(w barnes.Workload, procs int) ([]*barnes.StepPlan, error) {
-	st, err := e.nbodyStructure(w)
+func (e *Engine) NBodyPlans(ctx context.Context, w barnes.Workload, procs int) ([]*barnes.StepPlan, error) {
+	st, err := e.nbodyStructure(ctx, w)
 	if err != nil {
 		return nil, err
 	}
 	key := core.CellKey("nbody/plans", w, procs)
-	v, err := e.Do(key, fmt.Sprintf("n-body plans P=%d", procs), func(context.Context) (any, error) {
+	v, err := e.DoCtx(ctx, key, fmt.Sprintf("n-body plans P=%d", procs), func(context.Context) (any, error) {
 		return st.Plans(procs), nil
 	})
 	if err != nil {
@@ -260,27 +260,27 @@ func (e *Engine) NBodyPlans(w barnes.Workload, procs int) ([]*barnes.StepPlan, e
 }
 
 // NBody runs the Barnes-Hut application under one model, memoized.
-func (e *Engine) NBody(model core.Model, cfg machine.Config, w barnes.Workload) Res {
-	plans, err := e.NBodyPlans(w, cfg.Procs)
+func (e *Engine) NBody(ctx context.Context, model core.Model, cfg machine.Config, w barnes.Workload) Res {
+	plans, err := e.NBodyPlans(ctx, w, cfg.Procs)
 	if err != nil {
 		return Res{Err: fmt.Errorf("n-body plans: %w", err)}
 	}
 	key := core.CellKey("nbody/run", model, cfg, w)
-	return metricsRes(e.DoCached(key, fmt.Sprintf("n-body %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
+	return metricsRes(e.DoCachedCtx(ctx, key, fmt.Sprintf("n-body %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
 		return barnes.RunWithPlans(model, machine.MustNew(cfg), w, plans), nil
 	}))
 }
 
 // NBodyModels runs the N-body application under all three models.
-func (e *Engine) NBodyModels(cfg machine.Config, w barnes.Workload) [3]Res {
+func (e *Engine) NBodyModels(ctx context.Context, cfg machine.Config, w barnes.Workload) [3]Res {
 	var out [3]Res
-	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.NBody(m, cfg, w) })...)
+	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.NBody(ctx, m, cfg, w) })...)
 	return out
 }
 
 // cgMesh returns the memoized (and persisted) refined snapshot for the CG
 // workload, serialized in the mesh v2 global-ID format.
-func (e *Engine) cgMesh(w cg.Workload) (*mesh.Mesh, error) {
+func (e *Engine) cgMesh(ctx context.Context, w cg.Workload) (*mesh.Mesh, error) {
 	codec := textCodec(
 		func(v any) ([]byte, error) {
 			var pw planio.Writer
@@ -301,7 +301,7 @@ func (e *Engine) cgMesh(w cg.Workload) (*mesh.Mesh, error) {
 		},
 	)
 	sw := cgStructWorkload(w)
-	v, err := e.DoCached(cgMeshKey(w), "cg mesh", codec, func(context.Context) (any, error) {
+	v, err := e.DoCachedCtx(ctx, cgMeshKey(w), "cg mesh", codec, func(context.Context) (any, error) {
 		return cg.BuildMesh(sw), nil
 	})
 	if err != nil {
@@ -313,8 +313,8 @@ func (e *Engine) cgMesh(w cg.Workload) (*mesh.Mesh, error) {
 // CGPlan returns the memoized static plan for the conjugate-gradient run.
 // The mesh cell is resolved first; the plan cell persists the partitioning
 // decision only.
-func (e *Engine) CGPlan(w cg.Workload, procs int) (*cg.Plan, error) {
-	m, err := e.cgMesh(w)
+func (e *Engine) CGPlan(ctx context.Context, w cg.Workload, procs int) (*cg.Plan, error) {
+	m, err := e.cgMesh(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +323,7 @@ func (e *Engine) CGPlan(w cg.Workload, procs int) (*cg.Plan, error) {
 		func(v any) ([]byte, error) { return cg.EncodePlan(v.(*cg.Plan)), nil },
 		func(data []byte) (any, error) { return cg.DecodePlan(data, sw, m, procs) },
 	)
-	v, err := e.DoCached(cgPlanKey(w, procs), fmt.Sprintf("cg plan P=%d", procs), codec, func(context.Context) (any, error) {
+	v, err := e.DoCachedCtx(ctx, cgPlanKey(w, procs), fmt.Sprintf("cg plan P=%d", procs), codec, func(context.Context) (any, error) {
 		return cg.PlanForMesh(sw, m, procs), nil
 	})
 	if err != nil {
@@ -333,29 +333,29 @@ func (e *Engine) CGPlan(w cg.Workload, procs int) (*cg.Plan, error) {
 }
 
 // CG runs the conjugate-gradient application under one model, memoized.
-func (e *Engine) CG(model core.Model, cfg machine.Config, w cg.Workload) Res {
-	plan, err := e.CGPlan(w, cfg.Procs)
+func (e *Engine) CG(ctx context.Context, model core.Model, cfg machine.Config, w cg.Workload) Res {
+	plan, err := e.CGPlan(ctx, w, cfg.Procs)
 	if err != nil {
 		return Res{Err: fmt.Errorf("cg plan: %w", err)}
 	}
 	key := core.CellKey("cg/run", model, cfg, w)
-	return metricsRes(e.DoCached(key, fmt.Sprintf("cg %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
+	return metricsRes(e.DoCachedCtx(ctx, key, fmt.Sprintf("cg %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
 		return cg.RunWithPlan(model, machine.MustNew(cfg), w, plan), nil
 	}))
 }
 
 // CGModels runs the conjugate-gradient application under all three models.
-func (e *Engine) CGModels(cfg machine.Config, w cg.Workload) [3]Res {
+func (e *Engine) CGModels(ctx context.Context, cfg machine.Config, w cg.Workload) [3]Res {
 	var out [3]Res
-	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.CG(m, cfg, w) })...)
+	e.Warm(modelFns(func(i int, m core.Model) { out[i] = e.CG(ctx, m, cfg, w) })...)
 	return out
 }
 
 // Stencil runs the regular Jacobi control application under one model;
 // it has no plan stage.
-func (e *Engine) Stencil(model core.Model, cfg machine.Config, w stencil.Workload) Res {
+func (e *Engine) Stencil(ctx context.Context, model core.Model, cfg machine.Config, w stencil.Workload) Res {
 	key := core.CellKey("stencil/run", model, cfg, w)
-	return metricsRes(e.DoCached(key, fmt.Sprintf("stencil %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
+	return metricsRes(e.DoCachedCtx(ctx, key, fmt.Sprintf("stencil %v P=%d", model, cfg.Procs), MetricsCodec, func(context.Context) (any, error) {
 		return stencil.Run(model, machine.MustNew(cfg), w), nil
 	}))
 }

@@ -1,6 +1,9 @@
 package runner
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // The engine's observability seam. The tracing subsystem (internal/obs)
 // subscribes to cell lifecycle events through a Hook; the dependency points
@@ -63,6 +66,41 @@ type Hook func(Event)
 // called before the first Do; a nil hook (the default) keeps the engine
 // silent and adds zero overhead to the request path.
 func (e *Engine) SetHook(h Hook) { e.hook = h }
+
+// reqHookKey carries a per-request Hook through a context (WithRequestHook).
+type reqHookKey struct{}
+
+// WithRequestHook returns a context that carries h as a per-request event
+// hook. Every event a DoCtx/DoCachedCtx call fires for that request — and
+// only that request — is also delivered to h, in addition to the engine-wide
+// SetHook observer. Because all event kinds fire synchronously in the
+// requester's own goroutines, a request hook sees exactly the cell
+// lifecycle of its request with correct attribution, even while other
+// requests share the engine — the seam the experiment server streams
+// per-cell NDJSON from.
+func WithRequestHook(ctx context.Context, h Hook) context.Context {
+	return context.WithValue(ctx, reqHookKey{}, h)
+}
+
+// requestHook extracts the per-request hook from ctx, nil when absent.
+func requestHook(ctx context.Context) Hook {
+	h, _ := ctx.Value(reqHookKey{}).(Hook)
+	return h
+}
+
+// fire delivers an event to the engine-wide hook and the request hook.
+func (e *Engine) fire(rh Hook, ev Event) {
+	if e.hook != nil {
+		e.hook(ev)
+	}
+	if rh != nil {
+		rh(ev)
+	}
+}
+
+// hooked reports whether any observer would receive an event, gating the
+// time.Now calls on the request path exactly as the nil-hook check used to.
+func (e *Engine) hooked(rh Hook) bool { return e.hook != nil || rh != nil }
 
 // errMsg renders an outcome error for an Event.
 func errMsg(err error) string {

@@ -35,15 +35,24 @@ func (e *Engine) Leases() *lease.Manager { return e.leases }
 // attached and the disk probe missed: coordinate with other processes over
 // the cell's lease, and either compute under it or adopt the foreign
 // owner's committed entry. fromDisk reports the latter.
-func (e *Engine) computeShared(key, label string, codec *Codec, compute func(ctx context.Context) (any, error)) (val any, err error, attempts int, fromDisk bool) {
+func (e *Engine) computeShared(ctx context.Context, rh Hook, key, label string, codec *Codec, compute func(ctx context.Context) (any, error)) (val any, err error, attempts int, fromDisk bool) {
 	for {
 		l, st := e.leases.Acquire(key)
 		switch st {
 		case lease.Acquired:
+			// Double-check the entry under the lease: between our cache probe
+			// and this acquisition, a foreign owner may have committed and
+			// released. Re-probing here makes the cold-cell guarantee exact —
+			// each key is computed once per cache directory, not once per
+			// probe-miss — which the experiment-server fleet test asserts.
+			if v, cerr, ok := e.diskLoad(key, codec); ok {
+				l.Release()
+				return v, cerr, 0, true
+			}
 			// Commit the outcome before releasing: a waiter that sees the
 			// lease vanish must find the entry (or conclude the outcome was
 			// environmental and compute it itself).
-			val, err, attempts = e.run(key, label, compute)
+			val, err, attempts = e.run(ctx, rh, key, label, compute)
 			e.diskStore(key, codec, val, err)
 			l.Release()
 			return val, err, attempts, false
@@ -54,8 +63,8 @@ func (e *Engine) computeShared(key, label string, codec *Codec, compute func(ctx
 			// owner to stale — and us to the steal path — if it dies.
 			select {
 			case <-time.After(e.leases.PollInterval()):
-			case <-e.ctx.Done():
-				return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx)), 0, false
+			case <-ctx.Done():
+				return nil, fmt.Errorf("cell %s: %w", label, context.Cause(ctx)), 0, false
 			}
 			if v, cerr, ok := e.diskLoad(key, codec); ok {
 				return v, cerr, 0, true
@@ -66,7 +75,7 @@ func (e *Engine) computeShared(key, label string, codec *Codec, compute func(ctx
 			// hard links, corrupt-and-unremovable lease). Compute without
 			// exclusion: worst case is duplicated work, and last-rename-wins
 			// on identical bytes keeps the cache coherent.
-			val, err, attempts = e.run(key, label, compute)
+			val, err, attempts = e.run(ctx, rh, key, label, compute)
 			e.diskStore(key, codec, val, err)
 			return val, err, attempts, false
 		}

@@ -9,6 +9,7 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -34,7 +35,7 @@ func meshPlanBytes(t *testing.T, w adaptmesh.Workload, procs int, dc *diskcache.
 	if dc != nil {
 		e.SetCache(dc)
 	}
-	plans, err := e.MeshPlans(w, procs)
+	plans, err := e.MeshPlans(context.Background(), w, procs)
 	if err != nil {
 		t.Fatalf("MeshPlans: %v", err)
 	}
@@ -131,7 +132,7 @@ func TestPlanTierFaultsDegradeToRecompute(t *testing.T) {
 		dir := t.TempDir()
 		e := New(1)
 		e.SetCache(openDisk(t, dir))
-		refPlan, err := e.CGPlan(cw, 4)
+		refPlan, err := e.CGPlan(context.Background(), cw, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,7 +147,7 @@ func TestPlanTierFaultsDegradeToRecompute(t *testing.T) {
 		}
 		e2 := New(1)
 		e2.SetCache(dc)
-		p, err := e2.CGPlan(cw, 4)
+		p, err := e2.CGPlan(context.Background(), cw, 4)
 		if err != nil {
 			t.Fatalf("corrupt cg plan entries surfaced as a run error: %v", err)
 		}

@@ -32,6 +32,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -44,6 +45,15 @@ import (
 	"o2k/internal/runner/diskcache"
 	"o2k/internal/runner/lease"
 )
+
+// ErrCellAborted is the cancellation cause a cell's compute context carries
+// when every requester waiting on the cell has gone away before it completed
+// (per-request cancellation, DESIGN.md §5.11). It wraps context.Canceled, so
+// an aborted outcome is never persisted to the disk cache; the engine also
+// retires the cell from the memo map and the report order, so the next
+// request of the same key recomputes from scratch as if the cell had never
+// been asked for.
+var ErrCellAborted = fmt.Errorf("every requester left: %w", context.Canceled)
 
 // Policy is the engine's fault-tolerance configuration. The zero value means
 // no per-cell timeout and no retries — every failure is final on the first
@@ -104,9 +114,13 @@ type Engine struct {
 }
 
 // cell is one memoized computation: the single-flight slot, its result or
-// error, and its statistics. val, err, wall, and attempts are written only
-// by the owner goroutine before done is closed; readers must observe done
-// first (close(done) is the publication barrier).
+// error, and its statistics. val, err, wall, attempts, and retired are
+// written only by the owner goroutine before done is closed; readers must
+// observe done first (close(done) is the publication barrier). waiters and
+// completed are guarded by the engine mutex: they implement per-request
+// cancellation — every live requester (the owner included) holds one
+// reference, and the last reference leaving an incomplete cell cancels cctx
+// with ErrCellAborted.
 type cell struct {
 	key      string
 	label    string
@@ -117,8 +131,14 @@ type cell struct {
 	wall     time.Duration // compute wall time across all attempts
 	attempts int           // times compute actually ran
 	fromDisk bool          // outcome restored from the persistent cache
+	retired  bool          // aborted outcome withdrawn from the memo map
 	hits     atomic.Int64  // requests served after completion
 	dedup    atomic.Int64  // requests that waited on the in-flight run
+
+	cctx      context.Context         // compute context: engine ctx + abort
+	abort     context.CancelCauseFunc // fired when the last requester leaves
+	waiters   int                     // live requesters (engine mutex)
+	completed bool                    // outcome published (engine mutex)
 }
 
 // New returns an Engine whose worker pool admits jobs concurrent cell
@@ -192,7 +212,7 @@ func (e *Engine) Cancel(cause error) { e.cancel(cause) }
 // cells *before* calling Do and capture their results in the closure, as
 // the typed helpers in cells.go do with their plan cells.
 func (e *Engine) Do(key, label string, compute func(ctx context.Context) (any, error)) (any, error) {
-	return e.DoCached(key, label, nil, compute)
+	return e.DoCachedCtx(context.Background(), key, label, nil, compute)
 }
 
 // DoCached is Do for cells that also persist across processes: when the
@@ -203,106 +223,254 @@ func (e *Engine) Do(key, label string, compute func(ctx context.Context) (any, e
 // unreadable, corrupt, stale) silently falls through to compute, so cached
 // and uncached runs are byte-identical by construction.
 func (e *Engine) DoCached(key, label string, codec *Codec, compute func(ctx context.Context) (any, error)) (any, error) {
+	return e.DoCachedCtx(context.Background(), key, label, codec, compute)
+}
+
+// DoCtx is Do scoped to one request: cancelling ctx abandons this request's
+// wait without disturbing the engine or other requesters of the same cell.
+func (e *Engine) DoCtx(ctx context.Context, key, label string, compute func(ctx context.Context) (any, error)) (any, error) {
+	return e.DoCachedCtx(ctx, key, label, nil, compute)
+}
+
+// DoCachedCtx is DoCached scoped to one request (the experiment server's
+// entry point; the CLI paths call it with a background context through
+// Do/DoCached and behave exactly as before). The request semantics:
+//
+//   - every live requester of an in-flight cell — the owner included —
+//     holds one reference on it; cancelling ctx drops this request out of
+//     its wait immediately with ctx's cause;
+//   - when the *last* reference leaves a cell that has not completed, the
+//     cell's compute context is cancelled with ErrCellAborted: a client
+//     disconnect aborts only cells no other request still wants;
+//   - an aborted outcome is retired — withdrawn from the memo map and the
+//     report — and never persisted, so the next request of the same key
+//     recomputes as if the cell had never existed. A requester that raced
+//     its registration against the abort observes the retirement and
+//     retries its lookup.
+//
+// If ctx carries a request hook (WithRequestHook), every event this request
+// produces is also delivered to it.
+func (e *Engine) DoCachedCtx(ctx context.Context, key, label string, codec *Codec, compute func(ctx context.Context) (any, error)) (any, error) {
+	rh := requestHook(ctx)
+	for {
+		v, err, retry := e.doCached(ctx, rh, key, label, codec, compute)
+		if !retry {
+			return v, err
+		}
+	}
+}
+
+// unregister drops one requester reference from c. The last live requester
+// leaving an incomplete cell aborts its compute.
+func (e *Engine) unregister(c *cell) {
+	e.mu.Lock()
+	c.waiters--
+	if c.waiters == 0 && !c.completed {
+		c.abort(ErrCellAborted)
+	}
+	e.mu.Unlock()
+}
+
+// doCached is one pass of DoCachedCtx: serve, wait, or own. retry is true
+// when the observed outcome was a retired (aborted) cell while this request
+// is still live — the caller loops and looks the key up again.
+func (e *Engine) doCached(ctx context.Context, rh Hook, key, label string, codec *Codec, compute func(ctx context.Context) (any, error)) (val any, err error, retry bool) {
 	e.mu.Lock()
 	if c, ok := e.cells[key]; ok {
 		e.mu.Unlock()
 		select {
 		case <-c.done:
+			if c.retired && ctx.Err() == nil && e.ctx.Err() == nil {
+				// The lookup raced the owner's retirement: the cell was
+				// still in the map when we read it but its outcome was
+				// aborted and withdrawn. Look again.
+				return nil, nil, true
+			}
 			c.hits.Add(1)
-			if e.hook != nil {
-				e.hook(Event{Kind: EventMemoHit, Key: key, Label: label, Start: time.Now(), Err: errMsg(c.err)})
+			if e.hooked(rh) {
+				e.fire(rh, Event{Kind: EventMemoHit, Key: key, Label: label, Start: time.Now(), Err: errMsg(c.err)})
 			}
+			return c.val, c.err, false
 		default:
-			c.dedup.Add(1)
-			var t0 time.Time
-			if e.hook != nil {
-				t0 = time.Now()
-			}
-			select {
-			case <-c.done:
-			case <-e.ctx.Done():
-				return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx))
-			}
-			if e.hook != nil {
-				e.hook(Event{Kind: EventDedup, Key: key, Label: label, Start: t0, Dur: time.Since(t0), Err: errMsg(c.err)})
-			}
 		}
-		return c.val, c.err
+		// In flight: register as a waiter. The AfterFunc carries the
+		// reference drop for a cancelled request; a request that completes
+		// its wait normally stops it and drops the reference itself.
+		e.mu.Lock()
+		if c.completed || c.retired {
+			// Completed (or retired) between the lookup and here; done is
+			// closed or about to close — fall through to the wait without
+			// registering, the owner no longer observes waiters.
+			e.mu.Unlock()
+			<-c.done
+			if c.retired && ctx.Err() == nil && e.ctx.Err() == nil {
+				return nil, nil, true
+			}
+			c.hits.Add(1)
+			if e.hooked(rh) {
+				e.fire(rh, Event{Kind: EventMemoHit, Key: key, Label: label, Start: time.Now(), Err: errMsg(c.err)})
+			}
+			return c.val, c.err, false
+		}
+		c.waiters++
+		e.mu.Unlock()
+		stop := context.AfterFunc(ctx, func() { e.unregister(c) })
+		c.dedup.Add(1)
+		var t0 time.Time
+		if e.hooked(rh) {
+			t0 = time.Now()
+		}
+		select {
+		case <-c.done:
+			if stop() {
+				e.unregister(c)
+			}
+			if c.retired && ctx.Err() == nil && e.ctx.Err() == nil {
+				// The owner aborted after every registered requester left;
+				// ours raced the abort. Still live, so look the key up
+				// again — the retired cell is gone from the map.
+				return nil, nil, true
+			}
+			if e.hooked(rh) {
+				e.fire(rh, Event{Kind: EventDedup, Key: key, Label: label, Start: t0, Dur: time.Since(t0), Err: errMsg(c.err)})
+			}
+			return c.val, c.err, false
+		case <-ctx.Done():
+			// The AfterFunc drops our reference (and possibly aborts).
+			return nil, fmt.Errorf("cell %s: %w", label, context.Cause(ctx)), false
+		case <-e.ctx.Done():
+			if stop() {
+				e.unregister(c)
+			}
+			return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx)), false
+		}
 	}
-	c := &cell{key: key, label: label, done: make(chan struct{})}
+	c := &cell{key: key, label: label, done: make(chan struct{}), waiters: 1}
 	if codec != nil {
 		c.kind = codec.Kind
 	}
+	c.cctx, c.abort = context.WithCancelCause(e.ctx)
 	e.cells[key] = c
 	e.order = append(e.order, c)
 	e.mu.Unlock()
 
-	// Owner path. Whatever happens inside run — success, error, panic,
-	// timeout, cancellation — the cell's outcome is published and done is
-	// closed, so no requester can block forever on this key.
+	// Creator path: spawn the detached publisher that computes and publishes
+	// the outcome, then wait exactly like any other requester — so a creator
+	// whose request context is cancelled unblocks immediately while the
+	// compute keeps running for (or is aborted on behalf of) the remaining
+	// references. The publisher holds no reference of its own; the creator's
+	// registration is what keeps a fresh cell's compute alive.
+	go e.publish(c, rh, codec, compute)
+	stop := context.AfterFunc(ctx, func() { e.unregister(c) })
+	select {
+	case <-c.done:
+		if stop() {
+			e.unregister(c)
+		}
+		if c.retired && ctx.Err() == nil && e.ctx.Err() == nil {
+			// Our own compute was aborted by a racing departure (a co-waiter
+			// left last while our registration raced it); still live, so ask
+			// again.
+			return nil, nil, true
+		}
+		return c.val, c.err, false
+	case <-ctx.Done():
+		// The AfterFunc drops the reference (and possibly aborts the cell).
+		return nil, fmt.Errorf("cell %s: %w", label, context.Cause(ctx)), false
+	case <-e.ctx.Done():
+		if stop() {
+			e.unregister(c)
+		}
+		return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx)), false
+	}
+}
+
+// publish is the detached owner of one fresh cell: it resolves the outcome
+// (disk, lease-coordinated compute, or plain compute), publishes it, and
+// closes done. Whatever happens inside — success, error, panic, timeout,
+// abort — done is closed, so no requester can block forever on this key.
+func (e *Engine) publish(c *cell, rh Hook, codec *Codec, compute func(ctx context.Context) (any, error)) {
 	start := time.Now()
-	if v, cerr, ok := e.diskLoad(key, codec); ok {
+	if v, cerr, ok := e.diskLoad(c.key, codec); ok {
 		c.val, c.err, c.fromDisk = v, cerr, true
-		if e.hook != nil {
-			e.hook(Event{Kind: EventDiskHit, Key: key, Label: label, Start: start, Dur: time.Since(start), Err: errMsg(cerr)})
+		if e.hooked(rh) {
+			e.fire(rh, Event{Kind: EventDiskHit, Key: c.key, Label: c.label, Start: start, Dur: time.Since(start), Err: errMsg(cerr)})
 		}
 	} else if e.leases != nil && e.cache != nil && codec != nil {
-		c.val, c.err, c.attempts, c.fromDisk = e.computeShared(key, label, codec, compute)
-		if c.fromDisk && e.hook != nil {
-			e.hook(Event{Kind: EventDiskHit, Key: key, Label: label, Start: start, Dur: time.Since(start), Err: errMsg(c.err)})
+		c.val, c.err, c.attempts, c.fromDisk = e.computeShared(c.cctx, rh, c.key, c.label, codec, compute)
+		if c.fromDisk && e.hooked(rh) {
+			e.fire(rh, Event{Kind: EventDiskHit, Key: c.key, Label: c.label, Start: start, Dur: time.Since(start), Err: errMsg(c.err)})
 		}
 	} else {
-		c.val, c.err, c.attempts = e.run(key, label, compute)
-		e.diskStore(key, codec, c.val, c.err)
+		c.val, c.err, c.attempts = e.run(c.cctx, rh, c.key, c.label, compute)
+		e.diskStore(c.key, codec, c.val, c.err)
 	}
 	c.wall = time.Since(start)
+
+	// Publish — or retire an aborted outcome so the key can be recomputed.
+	// Engine-wide cancellation is not an abort: those outcomes stay, and
+	// every requester sees the engine's cause as before.
+	e.mu.Lock()
+	if errors.Is(c.err, ErrCellAborted) && e.ctx.Err() == nil {
+		c.retired = true
+		delete(e.cells, c.key)
+		for i, oc := range e.order {
+			if oc == c {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				break
+			}
+		}
+	}
+	c.completed = true
+	e.mu.Unlock()
 	close(c.done)
-	return c.val, c.err
+	c.abort(nil) // release the cctx timer/child bookkeeping
 }
 
 // run executes compute under the engine's retry policy and returns the final
-// outcome and the number of attempts actually made.
-func (e *Engine) run(key, label string, compute func(ctx context.Context) (any, error)) (val any, err error, attempts int) {
+// outcome and the number of attempts actually made. ctx is the cell's
+// compute context: the engine context plus the cell's abort.
+func (e *Engine) run(ctx context.Context, rh Hook, key, label string, compute func(ctx context.Context) (any, error)) (val any, err error, attempts int) {
 	for {
 		var t0 time.Time
-		if e.hook != nil {
+		if e.hooked(rh) {
 			t0 = time.Now()
 		}
-		val, err = e.attempt(label, compute)
+		val, err = e.attempt(ctx, label, compute)
 		attempts++
-		if e.hook != nil {
-			e.hook(Event{Kind: EventCompute, Key: key, Label: label, Start: t0, Dur: time.Since(t0), Attempt: attempts, Err: errMsg(err)})
+		if e.hooked(rh) {
+			e.fire(rh, Event{Kind: EventCompute, Key: key, Label: label, Start: t0, Dur: time.Since(t0), Attempt: attempts, Err: errMsg(err)})
 		}
 		if err == nil || !IsTransient(err) || attempts > e.pol.Retries {
 			return val, err, attempts
 		}
-		if e.hook != nil {
-			e.hook(Event{Kind: EventRetry, Key: key, Label: label, Start: time.Now(), Attempt: attempts, Err: errMsg(err)})
+		if e.hooked(rh) {
+			e.fire(rh, Event{Kind: EventRetry, Key: key, Label: label, Start: time.Now(), Attempt: attempts, Err: errMsg(err)})
 		}
 		select {
 		case <-time.After(e.jitterBackoff(attempts - 1)):
-		case <-e.ctx.Done():
-			return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx)), attempts
+		case <-ctx.Done():
+			return nil, fmt.Errorf("cell %s: %w", label, context.Cause(ctx)), attempts
 		}
 	}
 }
 
 // attempt runs compute once: acquire a worker slot (or fail on engine
-// cancellation), execute on a child goroutine with panic recovery, and wait
-// for the result or the per-cell deadline. The child releases the slot when
-// compute actually returns — a timed-out compute keeps its slot until then,
-// so the pool never runs more than jobs simulations at once.
-func (e *Engine) attempt(label string, compute func(ctx context.Context) (any, error)) (any, error) {
+// cancellation or cell abort), execute on a child goroutine with panic
+// recovery, and wait for the result or the per-cell deadline. The child
+// releases the slot when compute actually returns — a timed-out compute
+// keeps its slot until then, so the pool never runs more than jobs
+// simulations at once.
+func (e *Engine) attempt(ctx context.Context, label string, compute func(ctx context.Context) (any, error)) (any, error) {
 	select {
 	case e.sem <- struct{}{}:
-	case <-e.ctx.Done():
-		return nil, fmt.Errorf("cell %s: %w", label, context.Cause(e.ctx))
+	case <-ctx.Done():
+		return nil, fmt.Errorf("cell %s: %w", label, context.Cause(ctx))
 	}
 
-	ctx := e.ctx
 	cancel := context.CancelFunc(func() {})
 	if e.pol.CellTimeout > 0 {
-		ctx, cancel = context.WithTimeout(e.ctx, e.pol.CellTimeout)
+		ctx, cancel = context.WithTimeout(ctx, e.pol.CellTimeout)
 	}
 	defer cancel()
 

@@ -300,7 +300,7 @@ func TestMeshCellMatchesDirect(t *testing.T) {
 	w := adaptmesh.Small()
 	cfg := machine.Default(4)
 	direct := adaptmesh.RunWithPlans(core.SAS, machine.MustNew(cfg), w, adaptmesh.BuildPlans(w, 4))
-	cell := New(2).Mesh(core.SAS, cfg, w)
+	cell := New(2).Mesh(context.Background(), core.SAS, cfg, w)
 	if cell.Failed() {
 		t.Fatalf("cell failed: %v", cell.Err)
 	}
@@ -315,9 +315,9 @@ func TestCacheCorrectness(t *testing.T) {
 	e := New(2)
 	w := barnes.Small()
 	cfg := machine.Default(2)
-	first := e.NBodyModels(cfg, w)
+	first := e.NBodyModels(context.Background(), cfg, w)
 	misses := e.Report().Unique
-	second := e.NBodyModels(cfg, w)
+	second := e.NBodyModels(context.Background(), cfg, w)
 	r := e.Report()
 	if r.Unique != misses {
 		t.Fatalf("second request simulated %d new cells, want 0", r.Unique-misses)
@@ -337,14 +337,14 @@ func TestCacheCorrectness(t *testing.T) {
 func TestMeshPlanKeyNormalization(t *testing.T) {
 	e := New(2)
 	w := adaptmesh.Small()
-	if _, err := e.MeshPlans(w, 2); err != nil {
+	if _, err := e.MeshPlans(context.Background(), w, 2); err != nil {
 		t.Fatal(err)
 	}
 	base := e.Report().Unique
 
 	wMig := w
 	wMig.SasPageMigrate = true
-	e.MeshPlans(wMig, 2)
+	e.MeshPlans(context.Background(), wMig, 2)
 	if got := e.Report().Unique; got != base {
 		t.Fatalf("SasPageMigrate split the plan cell (%d -> %d unique)", base, got)
 	}
@@ -352,7 +352,7 @@ func TestMeshPlanKeyNormalization(t *testing.T) {
 	// NoRemap changes the plans and must get its own cell.
 	wOff := w
 	wOff.NoRemap = true
-	e.MeshPlans(wOff, 2)
+	e.MeshPlans(context.Background(), wOff, 2)
 	if got := e.Report().Unique; got != base+1 {
 		t.Fatalf("NoRemap plan cell not separate (%d -> %d unique)", base, got)
 	}
